@@ -1,0 +1,45 @@
+"""Shared fixtures for the benchmark harness.
+
+Every pause/throughput/memory figure consumes the same
+(workload × strategy) result matrix; a session-scoped
+:class:`~repro.experiments.runner.ExperimentRunner` computes each cell
+once.  Durations are configurable through ``REPRO_PROFILE_MS`` /
+``REPRO_PRODUCTION_MS`` (virtual milliseconds) for quick passes.
+
+Each benchmark renders its table/figure to stdout *and* to
+``benchmarks/results/<name>.txt`` so EXPERIMENTS.md can cite the exact
+regenerated output.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict
+
+import pytest
+
+from repro.experiments import fig3_fig4
+from repro.experiments.runner import ExperimentRunner, ExperimentSettings
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+@pytest.fixture(scope="session")
+def runner() -> ExperimentRunner:
+    return ExperimentRunner(ExperimentSettings.from_env())
+
+
+@pytest.fixture(scope="session")
+def snapshot_comparisons() -> Dict[str, fig3_fig4.SnapshotComparison]:
+    """Figure 3/4 input: CRIU vs jmap snapshot pairs per workload."""
+    duration = float(os.environ.get("REPRO_SNAPSHOT_MS", 25_000))
+    return fig3_fig4.run(duration_ms=duration)
+
+
+def save_result(name: str, text: str) -> None:
+    """Persist a rendered table/figure for EXPERIMENTS.md."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    with open(os.path.join(RESULTS_DIR, f"{name}.txt"), "w") as handle:
+        handle.write(text + "\n")
+    print()
+    print(text)

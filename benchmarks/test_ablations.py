@@ -1,0 +1,172 @@
+"""Ablation benches for POLM2's design choices (DESIGN.md §6).
+
+* push-up (§4.4): hoisting uniform subtrees' generations to ancestor call
+  sites cuts the number of executed ``setGeneration`` calls;
+* STTree conflict resolution (§3.3): a naive per-site majority profile
+  mis-tenures conflicting sites;
+* madvise/no-need marking (§4.2): skipping dead pages shrinks snapshots.
+"""
+
+import os
+
+from conftest import save_result
+
+from repro.experiments import ablations
+
+PROFILING_MS = float(os.environ.get("REPRO_PROFILE_MS", 20_000))
+PRODUCTION_MS = float(os.environ.get("REPRO_PRODUCTION_MS", 30_000))
+
+
+def test_ablation_push_up(benchmark):
+    result = benchmark.pedantic(
+        lambda: ablations.run_push_up_ablation(
+            "cassandra-wi",
+            profiling_ms=PROFILING_MS,
+            production_ms=PRODUCTION_MS,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    save_result(
+        "ablation_push_up",
+        (
+            "Ablation: §4.4 push-up optimization (cassandra-wi)\n"
+            f"setGeneration calls with push-up:    {result.calls_with_push_up}\n"
+            f"setGeneration calls without push-up: {result.calls_without_push_up}\n"
+            f"call reduction: {result.call_reduction:.0%}\n"
+            f"worst pause with/without: {result.pauses_with_ms:.2f} / "
+            f"{result.pauses_without_ms:.2f} ms"
+        ),
+    )
+    # Hoisting must reduce API calls; pause behaviour stays comparable.
+    assert result.calls_with_push_up < result.calls_without_push_up
+    assert result.pauses_with_ms <= result.pauses_without_ms * 1.5
+
+
+def test_ablation_sttree_conflicts(benchmark):
+    result = benchmark.pedantic(
+        lambda: ablations.run_sttree_ablation(
+            "cassandra-ri",
+            profiling_ms=PROFILING_MS,
+            production_ms=PRODUCTION_MS,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    save_result(
+        "ablation_sttree",
+        (
+            "Ablation: §3.3 STTree conflict resolution (cassandra-ri)\n"
+            f"worst pause with STTree: {result.sttree_worst_ms:.2f} ms "
+            f"(total {result.sttree_total_ms:.0f} ms)\n"
+            f"worst pause naive:       {result.naive_worst_ms:.2f} ms "
+            f"(total {result.naive_total_ms:.0f} ms)"
+        ),
+    )
+    # The naive profile mis-tenures the read path: no better, usually worse.
+    assert result.sttree_total_ms <= result.naive_total_ms * 1.1
+
+
+def test_ablation_binary_pretenuring(benchmark):
+    result = benchmark.pedantic(
+        lambda: ablations.run_binary_pretenuring_ablation(
+            "cassandra-wi",
+            profiling_ms=PROFILING_MS,
+            production_ms=PRODUCTION_MS,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    save_result(
+        "ablation_binary_pretenuring",
+        (
+            "Ablation: NG2C's N generations vs single tenured space "
+            "(Memento-style, paper §6.1; cassandra-wi)\n"
+            f"worst pause NG2C:   {result.ng2c_worst_ms:.2f} ms "
+            f"(total {result.ng2c_total_ms:.0f} ms)\n"
+            f"worst pause binary: {result.binary_worst_ms:.2f} ms "
+            f"(total {result.binary_total_ms:.0f} ms)"
+        ),
+    )
+    # Co-locating different-lifetime cohorts costs compaction effort.
+    assert result.binary_total_ms > result.ng2c_total_ms
+
+
+def test_ablation_pause_goal(benchmark):
+    result = benchmark.pedantic(
+        lambda: ablations.run_pause_goal_ablation(
+            "cassandra-wi",
+            goal_ms=30.0,
+            profiling_ms=PROFILING_MS,
+            production_ms=PRODUCTION_MS,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    save_result(
+        "ablation_pause_goal",
+        (
+            "Ablation: G1 pause-time goal vs lifetime-aware placement "
+            f"(cassandra-wi, goal {result.goal_ms:.0f} ms)\n"
+            f"G1 plain:  worst {result.g1_worst_ms:6.1f} ms, total "
+            f"{result.g1_total_ms:7.0f} ms, {result.g1_pauses} pauses\n"
+            f"G1 + goal: worst {result.g1_goal_worst_ms:6.1f} ms, total "
+            f"{result.g1_goal_total_ms:7.0f} ms, {result.g1_goal_pauses} pauses\n"
+            f"POLM2:     worst {result.polm2_worst_ms:6.1f} ms, total "
+            f"{result.polm2_total_ms:7.0f} ms, {result.polm2_pauses} pauses"
+        ),
+    )
+    # The goal shortens the worst pause but multiplies pause count and
+    # grows total GC time — it slices the copying, POLM2 removes it.
+    assert result.g1_goal_worst_ms < result.g1_worst_ms
+    assert result.g1_goal_pauses > result.g1_pauses
+    assert result.g1_goal_total_ms >= result.g1_total_ms
+    assert result.polm2_worst_ms < result.g1_goal_worst_ms
+    assert result.polm2_total_ms < result.g1_goal_total_ms
+
+
+def test_ablation_remembered_sets(benchmark):
+    result = benchmark.pedantic(
+        lambda: ablations.run_remset_ablation(
+            "cassandra-wi", production_ms=PRODUCTION_MS
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    save_result(
+        "ablation_remembered_sets",
+        (
+            "Ablation: precise young liveness vs remembered sets "
+            "(G1, cassandra-wi)\n"
+            f"precise: worst {result.precise_worst_ms:6.1f} ms, total "
+            f"{result.precise_total_ms:7.0f} ms, peak "
+            f"{result.precise_peak_bytes >> 20} MiB\n"
+            f"remsets: worst {result.remset_worst_ms:6.1f} ms, total "
+            f"{result.remset_total_ms:7.0f} ms, peak "
+            f"{result.remset_peak_bytes >> 20} MiB"
+        ),
+    )
+    # Conservatism costs copying (floating garbage gets evacuated), so
+    # total pause time grows; worst pauses stay comparable.
+    assert result.remset_total_ms >= result.precise_total_ms * 0.95
+    assert result.remset_worst_ms <= result.precise_worst_ms * 1.3
+
+
+def test_ablation_madvise(benchmark):
+    result = benchmark.pedantic(
+        lambda: ablations.run_madvise_ablation(
+            "cassandra-wi", duration_ms=PROFILING_MS
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    save_result(
+        "ablation_madvise",
+        (
+            "Ablation: §4.2 no-need (madvise) page marking (cassandra-wi)\n"
+            f"snapshot bytes with madvise:    {result.bytes_with_madvise}\n"
+            f"snapshot bytes without madvise: {result.bytes_without_madvise}\n"
+            f"size reduction: {result.size_reduction:.0%}"
+        ),
+    )
+    assert result.bytes_with_madvise < result.bytes_without_madvise

@@ -1,0 +1,34 @@
+"""Motivation bench: object lifetime demographics (paper §1/§2).
+
+Not a numbered figure, but the premise under every one of them: big-data
+platforms violate the weak generational hypothesis.  Measured against a
+request/response control workload that obeys it.
+"""
+
+import os
+
+from conftest import save_result
+
+from repro.experiments import demographics
+
+DURATION_MS = float(os.environ.get("REPRO_PROFILE_MS", 15_000))
+
+
+def test_lifetime_demographics(benchmark):
+    rows = benchmark.pedantic(
+        lambda: demographics.run(duration_ms=DURATION_MS),
+        rounds=1,
+        iterations=1,
+    )
+    save_result("demographics", demographics.render(rows))
+
+    control = rows["control"]
+    # The control obeys the hypothesis: essentially nothing survives.
+    assert control.survival[1] < 0.02
+    assert control.middle_lived_fraction < 0.01
+    # Every BGPLAT holds a substantial middle-lived population.
+    for name, row in rows.items():
+        if name == "control":
+            continue
+        assert row.survival[1] > 0.15, (name, row.survival)
+        assert row.middle_lived_fraction > control.middle_lived_fraction

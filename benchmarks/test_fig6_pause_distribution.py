@@ -1,0 +1,31 @@
+"""Figure 6 (a-f): number of application pauses per duration interval.
+
+Paper: POLM2 reduces the duration of *all* pauses, not only the tail —
+fewer pauses land in the long (right-hand) intervals for every workload.
+"""
+
+from conftest import save_result
+
+from repro.experiments import fig6
+
+#: "Long pause" threshold used for the headline right-tail assertion.
+LONG_MS = 32.0
+
+
+def test_fig6_pause_distribution(benchmark, runner):
+    panels = benchmark.pedantic(
+        lambda: fig6.run(runner), rounds=1, iterations=1
+    )
+    save_result("fig6_pause_distribution", fig6.render(panels))
+
+    for workload, panel in panels.items():
+        g1_long = panel.long_pauses("G1", LONG_MS)
+        polm2_long = panel.long_pauses("POLM2", LONG_MS)
+        ng2c_long = panel.long_pauses("NG2C", LONG_MS)
+        # G1 pushes pauses into the long intervals; POLM2/NG2C do not.
+        assert g1_long > 0, f"{workload}: expected long G1 pauses"
+        assert polm2_long < g1_long, workload
+        assert ng2c_long <= g1_long, workload
+        # POLM2's pauses are not merely fewer, they exist — the histogram
+        # is populated in the short intervals.
+        assert panel.histograms["POLM2"].total > 0, workload

@@ -1,0 +1,31 @@
+"""Figure 8 (a-c): Cassandra throughput timelines (transactions/second).
+
+Paper: the per-second throughput traces of G1, NG2C, and POLM2 track each
+other closely for each mix, while C4 runs visibly lower.
+"""
+
+from conftest import save_result
+
+from repro.experiments import fig8
+from repro.metrics.throughput import timeline_summary
+
+
+def test_fig8_cassandra_timeline(benchmark, runner):
+    panels = benchmark.pedantic(
+        lambda: fig8.run(runner), rounds=1, iterations=1
+    )
+    save_result("fig8_cassandra_timeline", fig8.render(panels))
+
+    for workload, panel in panels.items():
+        means = {
+            strategy: timeline_summary(timeline)["mean"]
+            for strategy, timeline in panel.timelines.items()
+        }
+        # Sampled for the whole run, every second.
+        for strategy, timeline in panel.timelines.items():
+            assert len(timeline) >= 10, (workload, strategy)
+        # G1 / NG2C / POLM2 approximately equal (within 15 %).
+        trio = [means["g1"], means["ng2c"], means["polm2"]]
+        assert max(trio) / min(trio) < 1.15, (workload, means)
+        # C4 visibly lower than the others.
+        assert means["c4"] < min(trio), (workload, means)

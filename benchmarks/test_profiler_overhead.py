@@ -1,0 +1,31 @@
+"""Related-work bench: profiling overhead, POLM2 vs exact lifetime tracing.
+
+The paper's §6.1 motivates snapshot-based estimation by the cost of exact
+tracers (Merlin up to 300x, Resurrector 3-40x).  This bench runs the same
+fixed amount of Cassandra work unprofiled, under POLM2's Recorder+Dumper,
+and under the Merlin-style exact tracer, and compares virtual elapsed
+time.
+"""
+
+import os
+
+from conftest import save_result
+
+from repro.experiments import profiler_overhead
+
+TICKS = int(os.environ.get("REPRO_OVERHEAD_TICKS", 1200))
+
+
+def test_profiler_overhead(benchmark):
+    result = benchmark.pedantic(
+        lambda: profiler_overhead.run("cassandra-wi", ticks=TICKS),
+        rounds=1,
+        iterations=1,
+    )
+    save_result("profiler_overhead", result.render())
+
+    # POLM2's profiling phase is lightweight enough to run against load…
+    assert 1.0 <= result.polm2_overhead < 2.0
+    # …while exact tracing lands in the Resurrector band (3-40x) at best.
+    assert result.exact_overhead > 2.5
+    assert result.exact_overhead > 2.0 * result.polm2_overhead

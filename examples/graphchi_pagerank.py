@@ -1,0 +1,77 @@
+#!/usr/bin/env python
+"""GraphChi PageRank: latency-taming a throughput-oriented engine.
+
+The paper's point with GraphChi (§5.2.3): batch-iterative engines hold a
+whole interval's vertex/edge blocks in memory — middle-lived data that
+murders G1 with promotion + compaction — yet with POLM2 the same engine
+becomes usable for latency-sensitive services without hurting throughput.
+
+This example runs PageRank over a synthetic power-law graph (standing in
+for twitter-2010), shows the batch lifecycle, and reports the
+wholesale-region-reclamation statistic that makes NG2C generations cheap.
+
+Usage::
+
+    python examples/graphchi_pagerank.py [--algorithm pr|cc]
+"""
+
+import argparse
+from collections import Counter
+
+from repro import POLM2Pipeline, make_workload
+from repro.metrics.percentiles import percentile_table
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--algorithm", choices=("pr", "cc"), default="pr")
+    args = parser.parse_args()
+    workload = f"graphchi-{args.algorithm}"
+
+    pipeline = POLM2Pipeline(lambda: make_workload(workload, seed=42))
+
+    print(f"=== {workload}: profiling phase ===")
+    profile = pipeline.run_profiling_phase(duration_ms=25_000.0)
+    print(
+        f"profile: {profile.instrumented_site_count} sites, "
+        f"{profile.generations_used} generations, "
+        f"{profile.conflicts_detected} conflict(s) "
+        "(the shared BufferPool helper)"
+    )
+
+    print("\n=== production: POLM2 vs G1 vs manual NG2C ===")
+    polm2 = pipeline.run_production_phase(profile, duration_ms=50_000.0)
+    g1 = pipeline.run_baseline("g1", duration_ms=50_000.0)
+    ng2c = pipeline.run_baseline("ng2c", duration_ms=50_000.0)
+
+    print(
+        percentile_table(
+            {
+                "G1": g1.pause_durations_ms(),
+                "NG2C": ng2c.pause_durations_ms(),
+                "POLM2": polm2.pause_durations_ms(),
+            },
+            title=f"{workload}: pause times (ms)",
+        )
+    )
+
+    kinds = Counter(p.kind for p in polm2.pauses)
+    wholesale = sum(
+        p.stats.get("regions_freed_wholesale", 0) for p in polm2.pauses
+    )
+    print(f"\nPOLM2 pause mix: {dict(kinds)}")
+    print(
+        f"regions reclaimed wholesale (no copying): {wholesale} — whole "
+        "batches dying together in their own generation"
+    )
+    print(
+        f"\nthroughput: G1 {g1.throughput_ops_s:.1f} steps/s vs POLM2 "
+        f"{polm2.throughput_ops_s:.1f} steps/s "
+        f"({polm2.throughput_ops_s / g1.throughput_ops_s:.2f}x)"
+    )
+    reduction = 1 - max(polm2.pause_durations_ms()) / max(g1.pause_durations_ms())
+    print(f"worst-pause reduction vs G1: {reduction:.0%} (paper: ~78-80%)")
+
+
+if __name__ == "__main__":
+    main()

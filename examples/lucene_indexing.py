@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""Lucene: where automatic profiling beats the expert (paper §5.4.1).
+
+Lucene is the paper's cautionary tale for hand annotation: the developer
+marked eight allocation sites ``@Gen``, but five of them hold
+per-document or RAM-buffer data that dies long before tenuring pays off,
+and both shared-helper conflicts went unnoticed.  POLM2's profiler keeps
+those sites young, annotates only the truly long-lived segment
+structures, and resolves the conflicts — matching or beating the manual
+annotations at every percentile without anyone reading the source.
+
+Usage::
+
+    python examples/lucene_indexing.py
+"""
+
+from repro import POLM2Pipeline, make_workload
+from repro.metrics.histogram import histogram_table
+from repro.metrics.percentiles import percentile_table
+
+
+def main() -> None:
+    pipeline = POLM2Pipeline(lambda: make_workload("lucene", seed=42))
+    manual = make_workload("lucene").manual_ng2c()
+
+    print("=== what the expert annotated (8 sites, 0 conflicts found) ===")
+    for directive in manual.alloc_directives:
+        marker = (
+            f" [bracketed gen{directive.pre_set_gen}]"
+            if directive.pre_set_gen is not None
+            else ""
+        )
+        print(
+            f"  @Gen {directive.class_name.split('.')[-1]}."
+            f"{directive.method_name}:{directive.line}{marker}"
+        )
+
+    print("\n=== what POLM2's profiler found ===")
+    profile = pipeline.run_profiling_phase(duration_ms=25_000.0)
+    for directive in profile.alloc_directives:
+        print(
+            f"  @Gen {directive.class_name.split('.')[-1]}."
+            f"{directive.method_name}:{directive.line}"
+        )
+    print(
+        f"  ({profile.instrumented_site_count} sites vs the expert's "
+        f"{len(manual.alloc_directives)}; "
+        f"{profile.conflicts_detected} conflicts detected vs 0)"
+    )
+
+    print("\n=== production comparison ===")
+    polm2 = pipeline.run_production_phase(profile, duration_ms=40_000.0)
+    ng2c = pipeline.run_baseline("ng2c", duration_ms=40_000.0)
+    g1 = pipeline.run_baseline("g1", duration_ms=40_000.0)
+    series = {
+        "G1": g1.pause_durations_ms(),
+        "NG2C": ng2c.pause_durations_ms(),
+        "POLM2": polm2.pause_durations_ms(),
+    }
+    print(percentile_table(series, title="lucene: pause times (ms)"))
+    print()
+    print(histogram_table(series, title="lucene: pauses per interval (ms)"))
+    print(
+        f"\ntotal pause time: manual NG2C {sum(series['NG2C']):.0f} ms vs "
+        f"POLM2 {sum(series['POLM2']):.0f} ms"
+    )
+
+
+if __name__ == "__main__":
+    main()

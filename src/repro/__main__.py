@@ -1,0 +1,160 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``profile <workload> [-o profile.json]`` — run the profiling phase and
+  save the allocation profile (§3.5: one profile per expected workload).
+* ``record <workload> -o <dir>`` — run the profiling phase and persist
+  the *raw* recording (allocation streams + snapshots) for later offline
+  analysis, the paper's actual deployment shape.
+* ``analyze <dir> [-o profile.json]`` — run the Analyzer over a recording
+  directory, no VM required.
+* ``run <workload> [--profile profile.json] [--strategy ...]`` — run the
+  production phase (or a baseline) and print the pause report.
+* ``evaluate`` — regenerate every table and figure of the paper's §5.
+* ``workloads`` — list available workloads.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro import AllocationProfile, POLM2Pipeline, WORKLOAD_NAMES, make_workload
+from repro.experiments.runner import ExperimentRunner, ExperimentSettings
+
+
+def cmd_workloads(_args) -> int:
+    for name in WORKLOAD_NAMES:
+        print(name)
+    return 0
+
+
+def cmd_profile(args) -> int:
+    pipeline = POLM2Pipeline(lambda: make_workload(args.workload, seed=args.seed))
+    profile = pipeline.run_profiling_phase(duration_ms=args.duration_ms)
+    print(
+        f"{profile.instrumented_site_count} sites, "
+        f"{profile.generations_used} generations, "
+        f"{profile.conflicts_detected} conflicts"
+    )
+    profile.save(args.output)
+    print(f"saved -> {args.output}")
+    return 0
+
+
+def cmd_record(args) -> int:
+    from repro.core.offline import record_to_dir
+
+    record_to_dir(
+        args.workload,
+        args.output,
+        duration_ms=args.duration_ms,
+        seed=args.seed,
+    )
+    print(f"recording saved -> {args.output}")
+    return 0
+
+
+def cmd_analyze(args) -> int:
+    from repro.core.offline import analyze_recording
+
+    profile = analyze_recording(args.recording_dir)
+    print(
+        f"{profile.instrumented_site_count} sites, "
+        f"{profile.generations_used} generations, "
+        f"{profile.conflicts_detected} conflicts"
+    )
+    profile.save(args.output)
+    print(f"saved -> {args.output}")
+    return 0
+
+
+def cmd_run(args) -> int:
+    pipeline = POLM2Pipeline(lambda: make_workload(args.workload, seed=args.seed))
+    if args.strategy == "polm2":
+        if args.profile:
+            profile = AllocationProfile.load(args.profile)
+        else:
+            print("(no --profile given: running the profiling phase first)")
+            profile = pipeline.run_profiling_phase(
+                duration_ms=args.duration_ms / 2
+            )
+        result = pipeline.run_production_phase(
+            profile, duration_ms=args.duration_ms
+        )
+    else:
+        result = pipeline.run_baseline(
+            args.strategy, duration_ms=args.duration_ms
+        )
+    print(result.pause_report())
+    print(f"throughput: {result.throughput_ops_s:.0f} ops/s")
+    print(f"peak memory: {result.peak_memory_bytes / 2**20:.1f} MiB")
+    return 0
+
+
+def cmd_evaluate(args) -> int:
+    from repro.metrics.report import full_report
+
+    runner = ExperimentRunner(
+        ExperimentSettings(
+            profiling_ms=args.profiling_ms, production_ms=args.duration_ms
+        )
+    )
+    print(full_report(runner))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("workloads", help="list workloads").set_defaults(
+        func=cmd_workloads
+    )
+
+    p_profile = sub.add_parser("profile", help="run the profiling phase")
+    p_profile.add_argument("workload", choices=WORKLOAD_NAMES)
+    p_profile.add_argument("-o", "--output", default="profile.json")
+    p_profile.add_argument("--duration-ms", type=float, default=30_000.0)
+    p_profile.add_argument("--seed", type=int, default=42)
+    p_profile.set_defaults(func=cmd_profile)
+
+    p_record = sub.add_parser("record", help="record raw profiling data")
+    p_record.add_argument("workload", choices=WORKLOAD_NAMES)
+    p_record.add_argument("-o", "--output", default="recording")
+    p_record.add_argument("--duration-ms", type=float, default=30_000.0)
+    p_record.add_argument("--seed", type=int, default=42)
+    p_record.set_defaults(func=cmd_record)
+
+    p_analyze = sub.add_parser("analyze", help="analyze a recording dir")
+    p_analyze.add_argument("recording_dir")
+    p_analyze.add_argument("-o", "--output", default="profile.json")
+    p_analyze.set_defaults(func=cmd_analyze)
+
+    p_run = sub.add_parser("run", help="run production phase or a baseline")
+    p_run.add_argument("workload", choices=WORKLOAD_NAMES)
+    p_run.add_argument(
+        "--strategy",
+        choices=("polm2", "g1", "ng2c", "ng2c-unannotated", "c4"),
+        default="polm2",
+    )
+    p_run.add_argument("--profile", help="allocation profile JSON")
+    p_run.add_argument("--duration-ms", type=float, default=60_000.0)
+    p_run.add_argument("--seed", type=int, default=42)
+    p_run.set_defaults(func=cmd_run)
+
+    p_eval = sub.add_parser("evaluate", help="regenerate all tables/figures")
+    p_eval.add_argument("--duration-ms", type=float, default=60_000.0)
+    p_eval.add_argument("--profiling-ms", type=float, default=30_000.0)
+    p_eval.set_defaults(func=cmd_evaluate)
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

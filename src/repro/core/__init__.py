@@ -1,0 +1,40 @@
+"""POLM2 itself: Recorder, Dumper, Analyzer (+ STTree), Instrumenter.
+
+The four components of the paper's Figure 1, plus the two-phase
+orchestration of §3.5:
+
+* profiling phase — :class:`~repro.core.recorder.Recorder` logs every
+  allocation (stack trace + identity hash) and triggers the
+  :class:`~repro.core.dumper.Dumper` after each GC cycle; the
+  :class:`~repro.core.analyzer.Analyzer` buckets object survival per
+  allocation stack trace and the :class:`~repro.core.sttree.STTree`
+  resolves same-site/different-lifetime conflicts, producing an
+  :class:`~repro.core.profile.AllocationProfile`;
+* production phase — the :class:`~repro.core.instrumenter.Instrumenter`
+  rewrites classes at load time so NG2C pretenures according to the
+  profile.
+"""
+
+from repro.core.analyzer import Analyzer
+from repro.core.dumper import Dumper
+from repro.core.instrumenter import Instrumenter
+from repro.core.pipeline import POLM2Pipeline, PhaseResult
+from repro.core.profile import AllocationProfile, AllocDirective, CallDirective
+from repro.core.profilestore import ProfileStore
+from repro.core.recorder import AllocationRecords, Recorder
+from repro.core.sttree import STTree
+
+__all__ = [
+    "AllocDirective",
+    "AllocationProfile",
+    "AllocationRecords",
+    "Analyzer",
+    "CallDirective",
+    "Dumper",
+    "Instrumenter",
+    "POLM2Pipeline",
+    "PhaseResult",
+    "ProfileStore",
+    "Recorder",
+    "STTree",
+]

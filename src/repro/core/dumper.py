@@ -1,0 +1,45 @@
+"""The Dumper: CRIU-backed incremental JVM snapshots (paper §3.2/§4.2).
+
+Upon request from the Recorder, checkpoints the JVM's memory.  Snapshots
+are incremental (dirty pages only) and skip pages the Recorder marked
+no-need.  Snapshot creation stops the application, so the time each
+checkpoint takes is charged to the virtual clock — this is the profiling
+disturbance Figures 3/4 show the CRIU engine reducing by >90 % relative
+to jmap.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, TYPE_CHECKING
+
+from repro.snapshot.criu import CRIUEngine
+from repro.snapshot.snapshot import Snapshot, SnapshotStore
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.heap.objects import HeapObject
+    from repro.runtime.vm import VM
+
+
+class Dumper:
+    """Creates incremental memory snapshots of the profiled VM."""
+
+    def __init__(self, vm: "VM", store: Optional[SnapshotStore] = None) -> None:
+        self.vm = vm
+        self.engine = CRIUEngine(vm.config.costs)
+        # NOTE: an explicit identity check — a freshly created store is
+        # empty and therefore falsy, so ``store or SnapshotStore()`` would
+        # silently discard a caller-provided store.
+        self.store = store if store is not None else SnapshotStore()
+
+    def take_snapshot(self, live_objects: Iterable["HeapObject"]) -> Snapshot:
+        """Checkpoint now; the application is stopped for the duration."""
+        snapshot = self.engine.checkpoint(
+            self.vm.heap, live_objects, self.vm.clock.now_ms
+        )
+        self.vm.clock.advance_us(snapshot.duration_us)
+        self.store.append(snapshot)
+        return snapshot
+
+    @property
+    def snapshots_taken(self) -> int:
+        return len(self.store)

@@ -1,0 +1,107 @@
+"""Offline profiling workflow: record to disk, analyze later (§3.2/§3.3).
+
+The paper's deployment shape: the Recorder runs attached to the profiled
+JVM and continuously writes object-id streams to disk (stack traces are
+flushed once, at the end); the Dumper leaves CRIU image directories; the
+Analyzer is a *separate* process that reads both afterwards.  This module
+provides exactly that separation over the simulated runtime:
+
+* :func:`record_to_dir` — run the profiling phase and leave a recording
+  directory (``traces.json`` + per-trace id streams + ``snapshots.jsonl``
+  + ``meta.json``);
+* :func:`analyze_recording` — build an
+  :class:`~repro.core.profile.AllocationProfile` from such a directory,
+  with no VM or workload required.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Optional
+
+from repro.config import SimConfig
+from repro.core.analyzer import Analyzer
+from repro.core.dumper import Dumper
+from repro.core.profile import AllocationProfile
+from repro.core.recorder import AllocationRecords, Recorder
+from repro.errors import ProfileFormatError
+from repro.gc.ng2c import NG2CCollector
+from repro.runtime.vm import VM
+from repro.snapshot.snapshot import SnapshotStore
+from repro.workloads import make_workload
+
+SNAPSHOTS_FILE = "snapshots.jsonl"
+META_FILE = "meta.json"
+
+
+def record_to_dir(
+    workload_name: str,
+    output_dir: str,
+    duration_ms: float = 30_000.0,
+    seed: int = 42,
+    snapshot_every: int = 1,
+    config: Optional[SimConfig] = None,
+) -> str:
+    """Run the profiling phase and persist the raw recording.
+
+    Returns ``output_dir``.  The directory is self-describing: a later
+    :func:`analyze_recording` needs nothing else.
+    """
+    workload = make_workload(workload_name, seed=seed)
+    collector = NG2CCollector()
+    vm = VM(config or SimConfig(seed=seed), collector=collector)
+    recorder = Recorder(snapshot_every=snapshot_every)
+    dumper = Dumper(vm)
+    recorder.attach(vm, dumper)
+    for model in workload.class_models():
+        vm.classloader.load(model)
+    workload.setup(vm)
+    while vm.clock.now_ms < duration_ms:
+        workload.tick()
+    workload.teardown()
+
+    os.makedirs(output_dir, exist_ok=True)
+    recorder.records.flush_to_dir(output_dir)
+    dumper.store.save(os.path.join(output_dir, SNAPSHOTS_FILE))
+    with open(os.path.join(output_dir, META_FILE), "w") as handle:
+        json.dump(
+            {
+                "workload": workload_name,
+                "seed": seed,
+                "duration_ms": duration_ms,
+                "snapshot_every": snapshot_every,
+                "max_generations": vm.config.max_generations,
+                "allocations_recorded": recorder.records.total_allocations,
+                "snapshots_taken": len(dumper.store),
+            },
+            handle,
+            indent=2,
+        )
+    return output_dir
+
+
+def analyze_recording(
+    recording_dir: str,
+    push_up: bool = True,
+    max_generations: Optional[int] = None,
+) -> AllocationProfile:
+    """Run the Analyzer over an on-disk recording directory."""
+    meta_path = os.path.join(recording_dir, META_FILE)
+    try:
+        with open(meta_path) as handle:
+            meta = json.load(handle)
+    except (OSError, ValueError) as exc:
+        raise ProfileFormatError(
+            f"not a recording directory (no readable {META_FILE}): {exc}"
+        ) from exc
+    records = AllocationRecords.load_from_dir(recording_dir)
+    store = SnapshotStore.load(os.path.join(recording_dir, SNAPSHOTS_FILE))
+    analyzer = Analyzer(
+        records,
+        store.snapshots,
+        max_generations=max_generations or int(meta.get("max_generations", 16)),
+    )
+    return analyzer.build_profile(
+        workload=meta.get("workload", "unknown"), push_up=push_up
+    )

@@ -1,0 +1,259 @@
+"""Two-phase orchestration: profiling then production (paper §3.5).
+
+:class:`POLM2Pipeline` wires the components end-to-end:
+
+* **profiling phase** — a fresh VM with NG2C (whose modified heap walk
+  supports the no-need marking), the Recorder and the Dumper attached;
+  the workload runs for a configurable virtual duration; the Analyzer
+  digests records + snapshots into an :class:`AllocationProfile`;
+* **production phase** — a fresh VM with NG2C and only the Instrumenter
+  attached, applying the profile at class-load time;
+* **baselines** — the same workload under plain G1, plain NG2C with the
+  hand-written annotations (the paper's "NG2C" bars), or C4.
+
+Each phase returns a :class:`PhaseResult` carrying pauses, throughput
+samples, and memory, which the experiment drivers aggregate into the
+paper's tables and figures.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, List, Optional
+
+from repro.config import SimConfig
+from repro.core.analyzer import Analyzer
+from repro.core.dumper import Dumper
+from repro.core.instrumenter import Instrumenter
+from repro.core.profile import AllocationProfile
+from repro.core.recorder import Recorder
+from repro.errors import ReproError
+from repro.gc.base import GenerationalCollector
+from repro.gc.c4 import C4Collector
+from repro.gc.events import GCPause
+from repro.gc.g1 import G1Collector
+from repro.gc.ng2c import NG2CCollector
+from repro.runtime.vm import VM
+from repro.snapshot.snapshot import SnapshotStore
+from repro.workloads.base import Workload
+
+#: Factory producing a fresh workload instance per phase (phases must not
+#: share mutable state, just as the paper restarts the application).
+WorkloadFactory = Callable[[], Workload]
+
+#: Throughput sampling period for timeline plots (Fig. 8), virtual ms.
+THROUGHPUT_SAMPLE_MS = 1000.0
+
+
+@dataclasses.dataclass
+class PhaseResult:
+    """Everything measured while running one workload under one strategy."""
+
+    strategy: str
+    workload: str
+    collector_name: str
+    duration_ms: float
+    ops_completed: int
+    pauses: List[GCPause]
+    peak_memory_bytes: int
+    set_generation_calls: int
+    #: ops/s sampled each virtual second (Fig. 8 timelines).
+    throughput_timeline: List[float]
+    snapshots: Optional[SnapshotStore] = None
+    profile: Optional[AllocationProfile] = None
+
+    @property
+    def throughput_ops_s(self) -> float:
+        if self.duration_ms <= 0:
+            return 0.0
+        return self.ops_completed / (self.duration_ms / 1000.0)
+
+    def pause_durations_ms(self) -> List[float]:
+        return [p.duration_ms for p in self.pauses]
+
+    def pause_report(self) -> str:
+        from repro.metrics.percentiles import percentile_table
+
+        return percentile_table(
+            {self.strategy: self.pause_durations_ms()},
+            title=f"{self.workload} pause times (ms)",
+        )
+
+
+class POLM2Pipeline:
+    """Profiling-phase + production-phase driver for one workload."""
+
+    def __init__(
+        self,
+        workload_factory: WorkloadFactory,
+        config: Optional[SimConfig] = None,
+        snapshot_every: int = 1,
+    ) -> None:
+        self.workload_factory = workload_factory
+        self.config = config or SimConfig()
+        self.snapshot_every = snapshot_every
+
+    # -- shared driver ---------------------------------------------------------------
+
+    def _drive(
+        self,
+        vm: VM,
+        workload: Workload,
+        duration_ms: float,
+    ) -> List[float]:
+        """Load classes, set up, and tick until the virtual deadline.
+
+        Returns the per-second throughput timeline.
+        """
+        for model in workload.class_models():
+            vm.classloader.load(model)
+        workload.setup(vm)
+        timeline: List[float] = []
+        window_start_ms = vm.clock.now_ms
+        window_ops = 0
+        deadline = duration_ms
+        while vm.clock.now_ms < deadline:
+            window_ops += workload.tick()
+            now = vm.clock.now_ms
+            while now - window_start_ms >= THROUGHPUT_SAMPLE_MS:
+                timeline.append(window_ops / (THROUGHPUT_SAMPLE_MS / 1000.0))
+                window_ops = 0
+                window_start_ms += THROUGHPUT_SAMPLE_MS
+        workload.teardown()
+        return timeline
+
+    def _result(
+        self,
+        strategy: str,
+        workload: Workload,
+        vm: VM,
+        collector: GenerationalCollector,
+        timeline: List[float],
+        snapshots: Optional[SnapshotStore] = None,
+        profile: Optional[AllocationProfile] = None,
+    ) -> PhaseResult:
+        peak = vm.heap.peak_committed_bytes
+        if getattr(collector, "pre_reserves_memory", False):
+            peak = vm.config.heap_bytes
+        return PhaseResult(
+            strategy=strategy,
+            workload=workload.name,
+            collector_name=collector.name,
+            duration_ms=vm.clock.now_ms,
+            ops_completed=vm.ops_completed,
+            pauses=collector.pauses,
+            peak_memory_bytes=peak,
+            set_generation_calls=vm.set_generation_calls,
+            throughput_timeline=timeline,
+            snapshots=snapshots,
+            profile=profile,
+        )
+
+    # -- profiling phase ---------------------------------------------------------------
+
+    def run_profiling_phase(
+        self,
+        duration_ms: float = 30_000.0,
+        push_up: bool = True,
+        keep_result: Optional[list] = None,
+    ) -> AllocationProfile:
+        """Run the workload under the Recorder + Dumper; analyze; return
+        the allocation profile.
+
+        ``keep_result`` (optional, a list) receives the profiling-run
+        :class:`PhaseResult` — used by the snapshot experiments.
+        """
+        workload = self.workload_factory()
+        collector = NG2CCollector()
+        vm = VM(self.config, collector=collector)
+        recorder = Recorder(snapshot_every=self.snapshot_every)
+        dumper = Dumper(vm)
+        recorder.attach(vm, dumper)
+        timeline = self._drive(vm, workload, duration_ms)
+        analyzer = Analyzer(
+            recorder.records,
+            dumper.store.snapshots,
+            max_generations=self.config.max_generations,
+        )
+        profile = analyzer.build_profile(workload=workload.name, push_up=push_up)
+        if keep_result is not None:
+            keep_result.append(
+                self._result(
+                    "polm2-profiling",
+                    workload,
+                    vm,
+                    collector,
+                    timeline,
+                    snapshots=dumper.store,
+                    profile=profile,
+                )
+            )
+        return profile
+
+    # -- production phase -----------------------------------------------------------------
+
+    def run_production_phase(
+        self,
+        profile: AllocationProfile,
+        duration_ms: float = 60_000.0,
+        collector_factory: Callable[[], GenerationalCollector] = NG2CCollector,
+        strategy: str = "polm2",
+    ) -> PhaseResult:
+        """Run the workload with the profile instrumented in.
+
+        ``collector_factory`` defaults to NG2C but accepts any collector
+        implementing the pretenuring API (paper §4.5: POLM2 is
+        GC-independent) — e.g.
+        :class:`repro.gc.binary.BinaryPretenuringCollector` for the
+        Memento-style single-tenured-space ablation.
+        """
+        workload = self.workload_factory()
+        collector = collector_factory()
+        vm = VM(self.config, collector=collector)
+        instrumenter = Instrumenter(profile)
+        instrumenter.attach(vm)
+        timeline = self._drive(vm, workload, duration_ms)
+        return self._result(
+            strategy, workload, vm, collector, timeline, profile=profile
+        )
+
+    # -- baselines ------------------------------------------------------------------------
+
+    def run_baseline(
+        self, strategy: str, duration_ms: float = 60_000.0
+    ) -> PhaseResult:
+        """Run one of the paper's baselines: ``g1``, ``ng2c``, or ``c4``.
+
+        ``ng2c`` means NG2C with the workload's *manual* annotations (the
+        paper's "NG2C" bars); plain unannotated NG2C behaves like G1 and
+        is available as ``ng2c-unannotated`` for ablations.
+        """
+        workload = self.workload_factory()
+        collector: GenerationalCollector
+        instrumenter: Optional[Instrumenter] = None
+        if strategy == "g1":
+            collector = G1Collector()
+        elif strategy == "c4":
+            collector = C4Collector()
+        elif strategy == "ng2c":
+            collector = NG2CCollector()
+            manual = workload.manual_ng2c()
+            if manual is None:
+                raise ReproError(
+                    f"workload {workload.name!r} has no manual NG2C strategy"
+                )
+            instrumenter = Instrumenter(manual.as_profile(workload.name))
+            if manual.rotate_generation_on_flush:
+                index = manual.rotating_index
+                workload.flush_hooks.append(
+                    lambda c=collector, i=index: c.rotate_generation(i)
+                )
+        elif strategy == "ng2c-unannotated":
+            collector = NG2CCollector()
+        else:
+            raise ReproError(f"unknown baseline strategy {strategy!r}")
+        vm = VM(self.config, collector=collector)
+        if instrumenter is not None:
+            instrumenter.attach(vm)
+        timeline = self._drive(vm, workload, duration_ms)
+        return self._result(strategy, workload, vm, collector, timeline)

@@ -1,0 +1,179 @@
+"""Allocation profiles: the artifact connecting the two POLM2 phases.
+
+The profiling phase emits "a file containing all the code locations that
+will be instrumented and how (annotate allocation site or set current
+generation)" (§3.5).  :class:`AllocationProfile` is that file: a list of
+``@Gen`` annotations and ``setGeneration`` directives, serializable to
+JSON so one profile per expected workload can be kept and selected at
+production launch.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from typing import Dict, List, Optional, Set
+
+from repro.errors import ProfileFormatError
+from repro.runtime.code import CodeLocation
+
+
+@dataclasses.dataclass(frozen=True)
+class AllocDirective:
+    """Annotate one allocation site ``@Gen``.
+
+    ``pre_set_gen`` additionally brackets the single allocation with
+    ``setGeneration(pre_set_gen)`` / restore, for sites whose generation
+    could not be hoisted to an enclosing call site.
+    """
+
+    class_name: str
+    method_name: str
+    line: int
+    pre_set_gen: Optional[int] = None
+
+    @property
+    def location(self) -> CodeLocation:
+        return (self.class_name, self.method_name, self.line)
+
+
+@dataclasses.dataclass(frozen=True)
+class CallDirective:
+    """Bracket one call site with ``setGeneration(target_generation)``."""
+
+    class_name: str
+    method_name: str
+    line: int
+    target_generation: int
+
+    @property
+    def location(self) -> CodeLocation:
+        return (self.class_name, self.method_name, self.line)
+
+
+class AllocationProfile:
+    """The output of the profiling phase / input of the production phase."""
+
+    def __init__(
+        self,
+        workload: str,
+        alloc_directives: List[AllocDirective],
+        call_directives: List[CallDirective],
+        conflicts_detected: int = 0,
+        metadata: Optional[Dict[str, object]] = None,
+    ) -> None:
+        self.workload = workload
+        self.alloc_directives = list(alloc_directives)
+        self.call_directives = list(call_directives)
+        self.conflicts_detected = conflicts_detected
+        self.metadata: Dict[str, object] = dict(metadata or {})
+
+    # -- derived metrics (Table 1) ---------------------------------------------------
+
+    @property
+    def instrumented_site_count(self) -> int:
+        return len({d.location for d in self.alloc_directives})
+
+    @property
+    def generation_indexes(self) -> Set[int]:
+        """Distinct non-young generation indexes the profile uses."""
+        gens: Set[int] = {
+            d.target_generation
+            for d in self.call_directives
+            if d.target_generation >= 1
+        }
+        gens.update(
+            d.pre_set_gen
+            for d in self.alloc_directives
+            if d.pre_set_gen is not None and d.pre_set_gen >= 1
+        )
+        return gens
+
+    @property
+    def generations_used(self) -> int:
+        """Total generations including young (the paper's Table 1 count)."""
+        return len(self.generation_indexes) + 1
+
+    # -- serialization ------------------------------------------------------------------
+
+    def to_json(self) -> str:
+        payload = {
+            "format": "polm2-profile-v1",
+            "workload": self.workload,
+            "conflicts_detected": self.conflicts_detected,
+            "alloc_directives": [
+                {
+                    "class": d.class_name,
+                    "method": d.method_name,
+                    "line": d.line,
+                    "pre_set_gen": d.pre_set_gen,
+                }
+                for d in self.alloc_directives
+            ],
+            "call_directives": [
+                {
+                    "class": d.class_name,
+                    "method": d.method_name,
+                    "line": d.line,
+                    "target_generation": d.target_generation,
+                }
+                for d in self.call_directives
+            ],
+            "metadata": self.metadata,
+        }
+        return json.dumps(payload, indent=2, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "AllocationProfile":
+        try:
+            payload = json.loads(text)
+        except ValueError as exc:
+            raise ProfileFormatError(f"invalid profile JSON: {exc}") from exc
+        if payload.get("format") != "polm2-profile-v1":
+            raise ProfileFormatError(
+                f"unsupported profile format: {payload.get('format')!r}"
+            )
+        try:
+            alloc = [
+                AllocDirective(
+                    class_name=d["class"],
+                    method_name=d["method"],
+                    line=int(d["line"]),
+                    pre_set_gen=d.get("pre_set_gen"),
+                )
+                for d in payload["alloc_directives"]
+            ]
+            calls = [
+                CallDirective(
+                    class_name=d["class"],
+                    method_name=d["method"],
+                    line=int(d["line"]),
+                    target_generation=int(d["target_generation"]),
+                )
+                for d in payload["call_directives"]
+            ]
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ProfileFormatError(f"malformed directive: {exc}") from exc
+        return cls(
+            workload=payload.get("workload", "unknown"),
+            alloc_directives=alloc,
+            call_directives=calls,
+            conflicts_detected=int(payload.get("conflicts_detected", 0)),
+            metadata=payload.get("metadata") or {},
+        )
+
+    def save(self, path: str) -> None:
+        with open(path, "w") as handle:
+            handle.write(self.to_json())
+
+    @classmethod
+    def load(cls, path: str) -> "AllocationProfile":
+        with open(path) as handle:
+            return cls.from_json(handle.read())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"AllocationProfile({self.workload!r}, "
+            f"sites={self.instrumented_site_count}, "
+            f"gens={self.generations_used}, conflicts={self.conflicts_detected})"
+        )

@@ -1,0 +1,87 @@
+"""Profile store: one allocation profile per expected workload (§3.5).
+
+The paper: "it is possible to create multiple allocation profiles for the
+same application, one for each possible workload.  Then, whenever the
+application is launched in the production phase, one allocation profile
+can be chosen according to the estimated workload (for example, depending
+on the client for which the application is running)."
+
+:class:`ProfileStore` is that mechanism: a directory of profile JSON
+files keyed by workload name, with selection at production launch.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, Optional
+
+from repro.core.profile import AllocationProfile
+from repro.errors import ProfileError
+
+_SUFFIX = ".profile.json"
+
+
+class ProfileStore:
+    """A directory-backed registry of allocation profiles."""
+
+    def __init__(self, directory: str) -> None:
+        self.directory = directory
+        os.makedirs(directory, exist_ok=True)
+
+    def _path(self, workload: str) -> str:
+        safe = workload.replace(os.sep, "_")
+        return os.path.join(self.directory, safe + _SUFFIX)
+
+    # -- writing ------------------------------------------------------------------
+
+    def save(self, profile: AllocationProfile) -> str:
+        """Store a profile under its workload name; returns the path."""
+        path = self._path(profile.workload)
+        profile.save(path)
+        return path
+
+    # -- selection -----------------------------------------------------------------
+
+    def list_workloads(self) -> List[str]:
+        names = []
+        for entry in sorted(os.listdir(self.directory)):
+            if entry.endswith(_SUFFIX):
+                names.append(entry[: -len(_SUFFIX)])
+        return names
+
+    def has_profile(self, workload: str) -> bool:
+        return os.path.exists(self._path(workload))
+
+    def load(self, workload: str) -> AllocationProfile:
+        path = self._path(workload)
+        if not os.path.exists(path):
+            raise ProfileError(
+                f"no profile for workload {workload!r} in {self.directory} "
+                f"(available: {self.list_workloads()})"
+            )
+        return AllocationProfile.load(path)
+
+    def select(
+        self, expected_workload: str, fallback: Optional[str] = None
+    ) -> AllocationProfile:
+        """Choose the profile for the expected workload at launch time.
+
+        Falls back to a same-application profile when the exact mix is
+        absent — e.g. ``cassandra-wr`` can borrow ``cassandra-wi``'s
+        profile, which still beats running unprofiled.
+        """
+        if self.has_profile(expected_workload):
+            return self.load(expected_workload)
+        prefix = expected_workload.split("-")[0]
+        for name in self.list_workloads():
+            if name.split("-")[0] == prefix:
+                return self.load(name)
+        if fallback is not None and self.has_profile(fallback):
+            return self.load(fallback)
+        raise ProfileError(
+            f"no profile usable for {expected_workload!r} "
+            f"(available: {self.list_workloads()})"
+        )
+
+    def load_all(self) -> Dict[str, AllocationProfile]:
+        return {name: self.load(name) for name in self.list_workloads()}

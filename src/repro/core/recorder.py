@@ -1,0 +1,178 @@
+"""The Recorder: allocation logging plus snapshot triggering (paper §3.2/§4.1).
+
+A Java agent attached to the profiled JVM with two jobs:
+
+1. **Instrument allocations.**  At class-load time it rewrites every
+   allocation site to call back into the Recorder, which logs the current
+   stack trace (interned — each distinct trace is kept once in memory and
+   written to disk only at shutdown) and the allocated object's identity
+   hash code (appended to a per-trace stream).
+2. **Trigger snapshots.**  After every GC cycle (configurable period) it
+   first asks the collector to mark pages holding no live objects with the
+   no-need bit (the ``madvise`` optimization of §4.2) and then signals the
+   Dumper to take an incremental snapshot.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, List, Optional, Tuple, TYPE_CHECKING
+
+from repro.errors import ProfileFormatError
+from repro.gc.events import GCPause
+from repro.runtime.code import AllocSite, ClassModel, CodeLocation
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.dumper import Dumper
+    from repro.heap.objects import HeapObject
+    from repro.runtime.vm import VM
+
+
+class AllocationRecords:
+    """In-memory allocation records: trace table + per-trace id streams.
+
+    Mirrors the Recorder's storage strategy: a table of interned stack
+    traces (flushed once) and an append-only stream of object ids per
+    trace.
+    """
+
+    def __init__(self) -> None:
+        self._trace_ids: Dict[Tuple[CodeLocation, ...], int] = {}
+        self.traces: Dict[int, Tuple[CodeLocation, ...]] = {}
+        self.streams: Dict[int, List[int]] = {}
+
+    def log(self, trace: Tuple[CodeLocation, ...], object_id: int) -> int:
+        """Record one allocation; returns the interned trace id."""
+        trace_id = self._trace_ids.get(trace)
+        if trace_id is None:
+            trace_id = len(self._trace_ids) + 1
+            self._trace_ids[trace] = trace_id
+            self.traces[trace_id] = trace
+            self.streams[trace_id] = []
+        self.streams[trace_id].append(object_id)
+        return trace_id
+
+    @property
+    def trace_count(self) -> int:
+        return len(self.traces)
+
+    @property
+    def total_allocations(self) -> int:
+        return sum(len(stream) for stream in self.streams.values())
+
+    def recorded_object_ids(self) -> List[int]:
+        ids: List[int] = []
+        for stream in self.streams.values():
+            ids.extend(stream)
+        return ids
+
+    # -- persistence (the "flushed to disk at the end" behaviour of §3.2) ----
+
+    def flush_to_dir(self, path: str) -> None:
+        """Write the trace table and the id streams to ``path``."""
+        os.makedirs(path, exist_ok=True)
+        table = {
+            str(tid): [list(frame) for frame in trace]
+            for tid, trace in self.traces.items()
+        }
+        with open(os.path.join(path, "traces.json"), "w") as handle:
+            json.dump(table, handle)
+        for tid, stream in self.streams.items():
+            with open(os.path.join(path, f"stream_{tid}.ids"), "w") as handle:
+                handle.write("\n".join(str(oid) for oid in stream))
+
+    @classmethod
+    def load_from_dir(cls, path: str) -> "AllocationRecords":
+        records = cls()
+        table_path = os.path.join(path, "traces.json")
+        try:
+            with open(table_path) as handle:
+                table = json.load(handle)
+        except (OSError, ValueError) as exc:
+            raise ProfileFormatError(f"cannot read trace table: {exc}") from exc
+        for tid_str, trace_list in table.items():
+            tid = int(tid_str)
+            trace = tuple(
+                (frame[0], frame[1], int(frame[2])) for frame in trace_list
+            )
+            records._trace_ids[trace] = tid
+            records.traces[tid] = trace
+            stream_path = os.path.join(path, f"stream_{tid}.ids")
+            stream: List[int] = []
+            if os.path.exists(stream_path):
+                with open(stream_path) as handle:
+                    stream = [int(line) for line in handle if line.strip()]
+            records.streams[tid] = stream
+        return records
+
+
+class Recorder:
+    """The profiling-phase agent: class transformer + allocation logger."""
+
+    def __init__(self, snapshot_every: int = 1, mark_no_need: bool = True) -> None:
+        if snapshot_every < 1:
+            raise ValueError("snapshot_every must be >= 1")
+        self.snapshot_every = snapshot_every
+        #: When False, skips the madvise/no-need page marking of §4.2 —
+        #: the ablation quantifying that optimization's contribution.
+        self.mark_no_need = mark_no_need
+        self.records = AllocationRecords()
+        self.instrumented_site_count = 0
+        self.vm: Optional["VM"] = None
+        self.dumper: Optional["Dumper"] = None
+        self._cycles_since_snapshot = 0
+
+    # -- agent lifecycle -----------------------------------------------------------
+
+    def attach(self, vm: "VM", dumper: Optional["Dumper"] = None) -> None:
+        """Attach to the VM: register transformer, alloc hook, cycle hook.
+
+        Must run before workload classes are loaded, exactly as a
+        ``-javaagent`` must be present at JVM launch.
+        """
+        self.vm = vm
+        self.dumper = dumper
+        vm.classloader.add_transformer(self)
+        vm.add_alloc_listener(self._on_alloc)
+        if vm.collector is not None:
+            vm.collector.add_cycle_listener(self._on_gc_cycle)
+
+    # -- ClassTransformer ------------------------------------------------------------
+
+    def transform(self, class_model: ClassModel) -> ClassModel:
+        """Flip the record hook on every allocation site of the class."""
+        for site in class_model.iter_alloc_sites():
+            site.record_hook = True
+            self.instrumented_site_count += 1
+        return class_model
+
+    # -- allocation callback -----------------------------------------------------------
+
+    def _on_alloc(self, obj: "HeapObject", site: AllocSite, trace: tuple) -> None:
+        self.records.log(trace, obj.object_id)
+        if self.vm is not None:
+            # Logging costs mutator time; this is the profiling overhead
+            # the paper accepts in exchange for offline analysis.
+            self.vm.clock.advance_us(self.vm.config.costs.record_log_us)
+
+    # -- GC cycle callback ----------------------------------------------------------------
+
+    def _on_gc_cycle(self, pause: GCPause) -> None:
+        self._cycles_since_snapshot += 1
+        if self._cycles_since_snapshot < self.snapshot_every:
+            return
+        self._cycles_since_snapshot = 0
+        if self.dumper is None or self.vm is None:
+            return
+        collector = self.vm.collector
+        live = collector.last_live_objects if collector is not None else []
+        if collector is not None and collector.last_trace_was_partial:
+            # Remembered-set collections only establish young liveness;
+            # snapshots need the full live set.
+            live = self.vm.heap.trace_live(self.vm.iter_roots())
+        if self.mark_no_need:
+            # §4.1: before signalling the Dumper, traverse the heap and set
+            # the no-need bit on every page with no live objects (madvise).
+            self.vm.heap.mark_unused_pages_no_need(live)
+        self.dumper.take_snapshot(live)

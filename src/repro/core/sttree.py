@@ -1,0 +1,425 @@
+"""The stack-trace tree (STTree) of paper §3.3.
+
+The Analyzer estimates a target generation per allocation *stack trace*,
+but NG2C's ``@Gen`` annotation attaches to an allocation *site* (class,
+method, line).  Two different call paths can end at the same site with
+very different lifetimes — the paper's ``methodD`` example (Listing 1).
+The STTree detects such *conflicts* and resolves them by pushing each
+trace's target generation up to the nearest ancestor call site that
+distinguishes the paths (Algorithm 1); it also implements §4.4's push-up
+optimization, hoisting a uniform subtree's target generation to a single
+ancestor ``setGeneration`` bracket so the generation is switched once per
+subtree entry rather than once per allocation.
+
+Outputs an instrumentation plan: ``@Gen`` annotations for allocation
+sites, ``setGeneration`` directives for call sites, and per-allocation
+brackets where no distinguishing call site exists.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import ConflictResolutionError
+from repro.runtime.code import CodeLocation
+
+
+class STNode:
+    """A node of the STTree.
+
+    Carries the paper's 4-tuple: class name, method name, line number,
+    and target generation (meaningful for leaves; intermediate nodes
+    default to generation zero until a directive is placed).
+    """
+
+    __slots__ = (
+        "location",
+        "parent",
+        "children",
+        "is_leaf",
+        "target_gen",
+        "object_count",
+    )
+
+    def __init__(
+        self,
+        location: Optional[CodeLocation],
+        parent: Optional["STNode"],
+        is_leaf: bool = False,
+    ) -> None:
+        self.location = location
+        self.parent = parent
+        self.children: Dict[Tuple[CodeLocation, bool], STNode] = {}
+        self.is_leaf = is_leaf
+        self.target_gen = 0
+        self.object_count = 0
+
+    @property
+    def is_root(self) -> bool:
+        return self.location is None
+
+    def child(self, location: CodeLocation, is_leaf: bool) -> Optional["STNode"]:
+        return self.children.get((location, is_leaf))
+
+    def ensure_child(self, location: CodeLocation, is_leaf: bool) -> "STNode":
+        key = (location, is_leaf)
+        node = self.children.get(key)
+        if node is None:
+            node = STNode(location, self, is_leaf)
+            self.children[key] = node
+        return node
+
+    def path(self) -> List[CodeLocation]:
+        """Locations from the outermost frame down to this node."""
+        nodes: List[STNode] = []
+        node: Optional[STNode] = self
+        while node is not None and not node.is_root:
+            nodes.append(node)
+            node = node.parent
+        return [n.location for n in reversed(nodes)]  # type: ignore[misc]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kind = "leaf" if self.is_leaf else "call"
+        return f"STNode({kind}, {self.location}, gen={self.target_gen})"
+
+
+@dataclasses.dataclass(frozen=True)
+class ConflictGroup:
+    """Leaves sharing one allocation site but disagreeing on generation."""
+
+    location: CodeLocation
+    generations: FrozenSet[int]
+    leaves: Tuple[STNode, ...]
+
+
+@dataclasses.dataclass
+class InstrumentationPlan:
+    """What the Instrumenter must do, produced from the tree.
+
+    Attributes:
+        annotate_sites: allocation-site locations to mark ``@Gen``.
+        call_directives: call-site location -> generation to set on entry.
+        alloc_brackets: allocation-site location -> generation, for sites
+            that need a per-allocation ``setGeneration`` bracket.
+        conflicts: the conflict groups that were detected (Table 1 metric).
+    """
+
+    annotate_sites: Set[CodeLocation] = dataclasses.field(default_factory=set)
+    call_directives: Dict[CodeLocation, int] = dataclasses.field(default_factory=dict)
+    alloc_brackets: Dict[CodeLocation, int] = dataclasses.field(default_factory=dict)
+    conflicts: List[ConflictGroup] = dataclasses.field(default_factory=list)
+
+    @property
+    def instrumented_site_count(self) -> int:
+        return len(self.annotate_sites)
+
+    @property
+    def generations_used(self) -> Set[int]:
+        gens: Set[int] = set(self.call_directives.values())
+        gens.update(self.alloc_brackets.values())
+        return gens
+
+
+class STTree:
+    """Builds the stack-trace tree and derives the instrumentation plan."""
+
+    def __init__(self) -> None:
+        self.root = STNode(location=None, parent=None)
+        self._leaves: List[STNode] = []
+
+    # -- construction -------------------------------------------------------------
+
+    def insert(
+        self, trace: Sequence[CodeLocation], target_gen: int, object_count: int = 1
+    ) -> STNode:
+        """Insert one allocation stack trace (innermost frame last).
+
+        The final frame becomes (or merges into) a leaf carrying the
+        estimated target generation.
+        """
+        if not trace:
+            raise ValueError("cannot insert an empty stack trace")
+        if target_gen < 0:
+            raise ValueError("target generation cannot be negative")
+        node = self.root
+        for location in trace[:-1]:
+            node = node.ensure_child(location, is_leaf=False)
+        existing = node.child(trace[-1], is_leaf=True)
+        leaf = node.ensure_child(trace[-1], is_leaf=True)
+        if existing is not None and existing.target_gen != target_gen:
+            raise ConflictResolutionError(
+                f"trace re-inserted with generation {target_gen} != "
+                f"{existing.target_gen}: {trace}"
+            )
+        if existing is None:
+            self._leaves.append(leaf)
+        leaf.target_gen = target_gen
+        leaf.object_count += object_count
+        return leaf
+
+    @classmethod
+    def build(
+        cls, estimates: Iterable[Tuple[Sequence[CodeLocation], int, int]]
+    ) -> "STTree":
+        """Build from ``(trace, target_gen, object_count)`` triples."""
+        tree = cls()
+        for trace, gen, count in estimates:
+            tree.insert(trace, gen, count)
+        return tree
+
+    @property
+    def leaves(self) -> List[STNode]:
+        return list(self._leaves)
+
+    # -- conflict detection (Algorithm 1, Detect Conflicts) -------------------------
+
+    def detect_conflicts(self) -> List[ConflictGroup]:
+        """Group leaves by allocation site; disagreeing groups conflict."""
+        by_location: Dict[CodeLocation, List[STNode]] = {}
+        for leaf in self._leaves:
+            by_location.setdefault(leaf.location, []).append(leaf)  # type: ignore[arg-type]
+        conflicts: List[ConflictGroup] = []
+        for location, leaves in sorted(by_location.items()):
+            gens = {leaf.target_gen for leaf in leaves}
+            if len(gens) > 1:
+                conflicts.append(
+                    ConflictGroup(
+                        location=location,
+                        generations=frozenset(gens),
+                        leaves=tuple(leaves),
+                    )
+                )
+        return conflicts
+
+    # -- conflict resolution (Algorithm 1, Solve Conflicts) ---------------------------
+
+    def solve_conflict(
+        self,
+        group: ConflictGroup,
+        taken: Dict[CodeLocation, int],
+    ) -> Dict[STNode, STNode]:
+        """Find, per conflicting leaf, the distinguishing ancestor node.
+
+        Walks all leaves upward in lockstep; a leaf resolves as soon as its
+        cursor's location differs from the cursors of every *still-pending
+        leaf with a different target generation* and does not collide with
+        an already-taken directive of a different generation.
+
+        Returns a map leaf -> ancestor node where the ``setGeneration``
+        directive must be placed.
+        """
+        cursors: Dict[STNode, STNode] = {leaf: leaf for leaf in group.leaves}
+        pending: List[STNode] = list(group.leaves)
+        resolution: Dict[STNode, STNode] = {}
+        while pending:
+            for leaf in pending:
+                parent = cursors[leaf].parent
+                if parent is None or parent.is_root:
+                    raise ConflictResolutionError(
+                        f"conflict at {group.location} cannot be resolved: "
+                        f"allocation paths are identical up to the entry point"
+                    )
+                cursors[leaf] = parent
+            still_pending: List[STNode] = []
+            for leaf in pending:
+                node = cursors[leaf]
+                clashes = any(
+                    other is not leaf
+                    and other.target_gen != leaf.target_gen
+                    and cursors[other].location == node.location
+                    for other in pending
+                )
+                already = taken.get(node.location)  # type: ignore[arg-type]
+                if not clashes and (already is None or already == leaf.target_gen):
+                    resolution[leaf] = node
+                else:
+                    still_pending.append(leaf)
+            pending = still_pending
+        return resolution
+
+    # -- full plan (conflict resolution + §4.4 push-up) ---------------------------------
+
+    def instrumentation_plan(self, push_up: bool = True) -> InstrumentationPlan:
+        """Derive the complete instrumentation plan.
+
+        1. Detect conflicts and place their directives at distinguishing
+           ancestors (Algorithm 1).
+        2. For the remaining annotated leaves, hoist uniform subtrees'
+           generations to a single ancestor directive (push-up, §4.4) — or,
+           with ``push_up=False`` (the ablation), bracket every allocation
+           individually.
+        """
+        plan = InstrumentationPlan()
+        plan.conflicts = self.detect_conflicts()
+        conflict_leaves: Set[int] = set()
+        for group in plan.conflicts:
+            resolution = self.solve_conflict(group, plan.call_directives)
+            for leaf, node in resolution.items():
+                conflict_leaves.add(id(leaf))
+                if leaf.target_gen >= 1:
+                    plan.annotate_sites.add(leaf.location)  # type: ignore[arg-type]
+                if leaf.target_gen >= 0:
+                    plan.call_directives[node.location] = leaf.target_gen  # type: ignore[index]
+
+        # Annotate every remaining long-lived leaf.
+        free_leaves = [
+            leaf
+            for leaf in self._leaves
+            if id(leaf) not in conflict_leaves and leaf.target_gen >= 1
+        ]
+        for leaf in free_leaves:
+            plan.annotate_sites.add(leaf.location)  # type: ignore[arg-type]
+
+        if push_up:
+            self._place_push_up(plan, conflict_leaves)
+        else:
+            for leaf in free_leaves:
+                plan.alloc_brackets[leaf.location] = leaf.target_gen  # type: ignore[index]
+        self._verify_and_repair(plan)
+        return plan
+
+    # -- plan verification ------------------------------------------------------------
+
+    @staticmethod
+    def _simulate(path: List[CodeLocation], plan: InstrumentationPlan) -> int:
+        """Execute the instrumented semantics along one allocation path."""
+        target = 0
+        for location in path[:-1]:
+            if location in plan.call_directives:
+                target = plan.call_directives[location]
+        leaf = path[-1]
+        if leaf not in plan.annotate_sites:
+            return 0
+        if leaf in plan.alloc_brackets:
+            return plan.alloc_brackets[leaf]
+        return target
+
+    def _violations(self, plan: InstrumentationPlan) -> List[STNode]:
+        return [
+            leaf
+            for leaf in self._leaves
+            if self._simulate(leaf.path(), plan) != leaf.target_gen
+        ]
+
+    def _verify_and_repair(self, plan: InstrumentationPlan) -> None:
+        """Fix directive interference between unrelated paths.
+
+        Directives are keyed by code location, and the same location can
+        occur in several tree contexts: a ``setGeneration`` placed for
+        one subtree then fires on every other path through that location
+        — the multi-path problem of §3.3 one level above the leaves.
+        Each surviving mismatch is repaired by overriding *later* on the
+        affected path: a per-allocation bracket when the leaf's estimate
+        is unambiguous, otherwise a directive at the deepest free call
+        site past the interfering one.  Every tentative fix is validated
+        by global re-simulation so a repair never breaks other paths.
+        """
+        gens_by_leaf_location: Dict[CodeLocation, Set[int]] = {}
+        for leaf in self._leaves:
+            gens_by_leaf_location.setdefault(leaf.location, set()).add(  # type: ignore[arg-type]
+                leaf.target_gen
+            )
+        for _ in range(2 * len(self._leaves) + 1):
+            violations = self._violations(plan)
+            if not violations:
+                return
+            progressed = False
+            for leaf in violations:
+                path = leaf.path()
+                if self._simulate(path, plan) == leaf.target_gen:
+                    continue  # fixed as a side effect of an earlier repair
+                if self._try_repair(leaf, path, plan, gens_by_leaf_location):
+                    progressed = True
+            if not progressed:
+                break
+        remaining = self._violations(plan)
+        if remaining:
+            raise ConflictResolutionError(
+                f"cannot place directives satisfying every path; "
+                f"{len(remaining)} allocation paths remain mis-tenured "
+                f"(first: {remaining[0].path()})"
+            )
+
+    def _try_repair(
+        self,
+        leaf: STNode,
+        path: List[CodeLocation],
+        plan: InstrumentationPlan,
+        gens_by_leaf_location: Dict[CodeLocation, Set[int]],
+    ) -> bool:
+        before = len(self._violations(plan))
+        # Preferred fix: a per-allocation bracket (legal only when every
+        # path into this site agrees on the generation).
+        if len(gens_by_leaf_location[leaf.location]) == 1:  # type: ignore[index]
+            plan.annotate_sites.add(leaf.location)  # type: ignore[arg-type]
+            saved = plan.alloc_brackets.get(leaf.location)  # type: ignore[arg-type]
+            plan.alloc_brackets[leaf.location] = leaf.target_gen  # type: ignore[index]
+            if len(self._violations(plan)) < before:
+                return True
+            if saved is None:
+                del plan.alloc_brackets[leaf.location]  # type: ignore[arg-type]
+            else:  # pragma: no cover - defensive
+                plan.alloc_brackets[leaf.location] = saved  # type: ignore[index]
+        # Otherwise, override at the deepest call site not already taken.
+        for location in reversed(path[:-1]):
+            taken = plan.call_directives.get(location)
+            if taken is not None and taken != leaf.target_gen:
+                continue
+            saved_directive = plan.call_directives.get(location)
+            plan.call_directives[location] = leaf.target_gen
+            if len(self._violations(plan)) < before:
+                return True
+            if saved_directive is None:
+                del plan.call_directives[location]
+            else:
+                plan.call_directives[location] = saved_directive
+        return False
+
+    def _place_push_up(
+        self, plan: InstrumentationPlan, conflict_leaves: Set[int]
+    ) -> None:
+        """Hoist uniform subtrees' target generations to ancestor calls."""
+        gens_memo: Dict[int, Set[int]] = {}
+
+        def gens_under(node: STNode) -> Set[int]:
+            cached = gens_memo.get(id(node))
+            if cached is not None:
+                return cached
+            if node.is_leaf:
+                if id(node) in conflict_leaves or node.target_gen < 1:
+                    result: Set[int] = set()
+                else:
+                    result = {node.target_gen}
+            else:
+                result = set()
+                for child in node.children.values():
+                    result |= gens_under(child)
+            gens_memo[id(node)] = result
+            return result
+
+        def visit(node: STNode, inherited: int) -> None:
+            gens = gens_under(node)
+            if not gens:
+                return
+            if node.is_leaf:
+                if node.target_gen != inherited:
+                    plan.alloc_brackets[node.location] = node.target_gen  # type: ignore[index]
+                return
+            if len(gens) == 1:
+                gen = next(iter(gens))
+                taken = plan.call_directives.get(node.location)  # type: ignore[arg-type]
+                if gen == inherited and taken is None:
+                    return
+                if taken is None:
+                    plan.call_directives[node.location] = gen  # type: ignore[index]
+                    return
+                if taken == gen:
+                    return
+                # Location already carries a conflicting directive; push the
+                # generation further down instead.
+            for child in node.children.values():
+                visit(child, inherited)
+
+        for child in self.root.children.values():
+            visit(child, 0)

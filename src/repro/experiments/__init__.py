@@ -1,0 +1,10 @@
+"""Experiment drivers: one module per table/figure of the paper's §5.
+
+All pause/throughput/memory figures share the same (workload × strategy)
+result matrix, computed once per process by
+:class:`repro.experiments.runner.ExperimentRunner` and cached.
+"""
+
+from repro.experiments.runner import ExperimentRunner, ExperimentSettings
+
+__all__ = ["ExperimentRunner", "ExperimentSettings"]

@@ -1,0 +1,41 @@
+"""Figure 7: application throughput normalized to G1.
+
+Paper: POLM2 improves Cassandra throughput by 1 / 11 / 18 % (WI/WR/RI),
+loses ≤5 % on Lucene and GraphChi, matches NG2C everywhere, and C4 is
+the slowest collector (its read/write barriers tax the mutator).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.experiments.runner import (
+    ExperimentRunner,
+    STRATEGIES,
+    default_runner,
+)
+from repro.metrics.throughput import normalized_throughput, throughput_table
+from repro.workloads import WORKLOAD_NAMES
+
+
+def run(runner: Optional[ExperimentRunner] = None) -> Dict[str, Dict[str, float]]:
+    """Per workload: strategy -> throughput normalized to G1."""
+    runner = runner or default_runner()
+    normalized: Dict[str, Dict[str, float]] = {}
+    for workload in WORKLOAD_NAMES:
+        raw = {
+            strategy: runner.result(workload, strategy).throughput_ops_s
+            for strategy in STRATEGIES
+        }
+        normalized[workload] = normalized_throughput(raw, baseline="g1")
+    return normalized
+
+
+def render(normalized: Dict[str, Dict[str, float]]) -> str:
+    table = throughput_table(
+        normalized, title="Figure 7: Application throughput normalized to G1"
+    )
+    return table + (
+        "\n(paper: POLM2 +1/+11/+18% on Cassandra WI/WR/RI, ~-1..-5% on "
+        "Lucene/GraphChi; C4 slowest)"
+    )

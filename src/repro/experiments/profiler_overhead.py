@@ -1,0 +1,104 @@
+"""Profiler overhead comparison (the paper's §6.1 argument, quantified).
+
+Runs the same workload three ways for a fixed amount of *work* (ticks):
+
+* unprofiled (NG2C, no agents) — the baseline;
+* POLM2's profiling phase (Recorder + incremental CRIU Dumper);
+* exact lifetime tracing (Merlin / Elephant Tracks style).
+
+The overhead factor is the ratio of virtual elapsed time to the baseline
+for the same tick count.  Related work reports Merlin at up to 300x and
+Resurrector at 3-40x; POLM2's design goal is an overhead low enough that
+the profiling phase can run against realistic load.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Optional
+
+from repro.config import SimConfig
+from repro.core.dumper import Dumper
+from repro.core.exact_tracer import ExactLifetimeTracer
+from repro.core.profile import AllocationProfile
+from repro.core.recorder import Recorder
+from repro.gc.ng2c import NG2CCollector
+from repro.runtime.vm import VM
+from repro.workloads import make_workload
+
+
+@dataclasses.dataclass
+class OverheadResult:
+    """Virtual elapsed time per profiling strategy for identical work."""
+
+    workload: str
+    ticks: int
+    baseline_ms: float
+    polm2_ms: float
+    exact_ms: float
+    polm2_profile: Optional[AllocationProfile] = None
+    exact_profile: Optional[AllocationProfile] = None
+
+    @property
+    def polm2_overhead(self) -> float:
+        return self.polm2_ms / self.baseline_ms
+
+    @property
+    def exact_overhead(self) -> float:
+        return self.exact_ms / self.baseline_ms
+
+    def render(self) -> str:
+        lines = [
+            f"Profiler overhead, {self.workload}, {self.ticks} ticks of work",
+            f"  unprofiled:          {self.baseline_ms:10.1f} virtual ms (1.00x)",
+            f"  POLM2 (Recorder+CRIU): {self.polm2_ms:8.1f} virtual ms "
+            f"({self.polm2_overhead:.2f}x)",
+            f"  exact tracer (Merlin-style): {self.exact_ms:.1f} virtual ms "
+            f"({self.exact_overhead:.2f}x)",
+            "  (related work: Merlin up to 300x, Resurrector 3-40x)",
+        ]
+        return "\n".join(lines)
+
+
+def _run(workload_name: str, seed: int, ticks: int, profiler: str):
+    workload = make_workload(workload_name, seed=seed)
+    collector = NG2CCollector()
+    vm = VM(SimConfig(seed=seed), collector=collector)
+    agent = None
+    if profiler == "polm2":
+        agent = Recorder()
+        agent.attach(vm, Dumper(vm))
+    elif profiler == "exact":
+        agent = ExactLifetimeTracer()
+        agent.attach(vm)
+    for model in workload.class_models():
+        vm.classloader.load(model)
+    workload.setup(vm)
+    for _ in range(ticks):
+        workload.tick()
+    workload.teardown()
+    return vm.clock.now_ms, agent
+
+
+def run(
+    workload: str = "cassandra-wi",
+    ticks: int = 1500,
+    seed: int = 42,
+    build_profiles: bool = False,
+) -> OverheadResult:
+    baseline_ms, _ = _run(workload, seed, ticks, profiler="none")
+    polm2_ms, recorder = _run(workload, seed, ticks, profiler="polm2")
+    exact_ms, tracer = _run(workload, seed, ticks, profiler="exact")
+    result = OverheadResult(
+        workload=workload,
+        ticks=ticks,
+        baseline_ms=baseline_ms,
+        polm2_ms=polm2_ms,
+        exact_ms=exact_ms,
+    )
+    if build_profiles:
+        from repro.core.analyzer import Analyzer
+
+        # recorder was attached with a Dumper; rebuild the analyzer input.
+        result.exact_profile = tracer.build_profile(workload=workload)
+    return result

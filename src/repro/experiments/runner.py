@@ -1,0 +1,132 @@
+"""Shared experiment runner: the (workload × strategy) result matrix.
+
+Figures 5-9 all consume the same 6 workloads × {G1, NG2C-manual, POLM2,
+C4} runs; Table 1 consumes the profiling phases.  The runner executes
+each cell once and caches it, so regenerating every figure costs one pass
+over the matrix.
+
+Durations honour two environment variables so CI can run quick smoke
+passes: ``REPRO_PROFILE_MS`` and ``REPRO_PRODUCTION_MS`` (virtual
+milliseconds).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+from typing import Dict, List, Optional, Tuple
+
+from repro.config import SimConfig
+from repro.core.pipeline import POLM2Pipeline, PhaseResult
+from repro.core.profile import AllocationProfile
+from repro.workloads import WORKLOAD_NAMES, make_workload
+
+#: Strategy keys as plotted in the paper.
+STRATEGIES = ("g1", "ng2c", "polm2", "c4")
+
+#: Strategies shown in pause-time figures (C4 is omitted there: all of
+#: its pauses are below 10 ms, paper §5).
+PAUSE_STRATEGIES = ("g1", "ng2c", "polm2")
+
+
+@dataclasses.dataclass
+class ExperimentSettings:
+    """Durations and seed for a full experiment pass."""
+
+    profiling_ms: float = 30_000.0
+    production_ms: float = 60_000.0
+    seed: int = 42
+
+    @classmethod
+    def from_env(cls) -> "ExperimentSettings":
+        return cls(
+            profiling_ms=float(os.environ.get("REPRO_PROFILE_MS", 30_000)),
+            production_ms=float(os.environ.get("REPRO_PRODUCTION_MS", 60_000)),
+            seed=int(os.environ.get("REPRO_SEED", 42)),
+        )
+
+
+class ExperimentRunner:
+    """Runs and caches every (workload, strategy) cell."""
+
+    def __init__(self, settings: Optional[ExperimentSettings] = None) -> None:
+        self.settings = settings or ExperimentSettings.from_env()
+        self._pipelines: Dict[str, POLM2Pipeline] = {}
+        self._profiles: Dict[str, AllocationProfile] = {}
+        self._profiling_results: Dict[str, PhaseResult] = {}
+        self._results: Dict[Tuple[str, str], PhaseResult] = {}
+
+    # -- building blocks ---------------------------------------------------------
+
+    def pipeline(self, workload: str) -> POLM2Pipeline:
+        pipe = self._pipelines.get(workload)
+        if pipe is None:
+            seed = self.settings.seed
+            pipe = POLM2Pipeline(
+                workload_factory=lambda w=workload, s=seed: make_workload(w, seed=s),
+                config=SimConfig(seed=seed),
+            )
+            self._pipelines[workload] = pipe
+        return pipe
+
+    def profile(self, workload: str) -> AllocationProfile:
+        """The POLM2 allocation profile for a workload (cached)."""
+        prof = self._profiles.get(workload)
+        if prof is None:
+            keep: List[PhaseResult] = []
+            prof = self.pipeline(workload).run_profiling_phase(
+                duration_ms=self.settings.profiling_ms, keep_result=keep
+            )
+            self._profiles[workload] = prof
+            self._profiling_results[workload] = keep[0]
+        return prof
+
+    def profiling_result(self, workload: str) -> PhaseResult:
+        """The PhaseResult of the profiling run (snapshots included)."""
+        self.profile(workload)
+        return self._profiling_results[workload]
+
+    def result(self, workload: str, strategy: str) -> PhaseResult:
+        """One production-phase cell of the matrix (cached)."""
+        key = (workload, strategy)
+        cell = self._results.get(key)
+        if cell is None:
+            pipe = self.pipeline(workload)
+            if strategy == "polm2":
+                cell = pipe.run_production_phase(
+                    self.profile(workload),
+                    duration_ms=self.settings.production_ms,
+                )
+            else:
+                cell = pipe.run_baseline(
+                    strategy, duration_ms=self.settings.production_ms
+                )
+            self._results[key] = cell
+        return cell
+
+    # -- bulk access ----------------------------------------------------------------
+
+    def pause_series(self, workload: str) -> Dict[str, List[float]]:
+        """Pause durations per strategy for one Figure 5/6 panel."""
+        return {
+            strategy.upper(): self.result(workload, strategy).pause_durations_ms()
+            for strategy in PAUSE_STRATEGIES
+        }
+
+    def full_matrix(self, workloads=WORKLOAD_NAMES, strategies=STRATEGIES):
+        """Force-run every cell; returns {(workload, strategy): result}."""
+        for workload in workloads:
+            for strategy in strategies:
+                self.result(workload, strategy)
+        return dict(self._results)
+
+
+_default_runner: Optional[ExperimentRunner] = None
+
+
+def default_runner() -> ExperimentRunner:
+    """Process-wide shared runner (the figure modules all use this)."""
+    global _default_runner
+    if _default_runner is None:
+        _default_runner = ExperimentRunner()
+    return _default_runner

@@ -1,0 +1,96 @@
+"""Table 1: application profiling metrics, POLM2 vs NG2C-manual.
+
+Paper columns, per workload:
+
+* ``# Instrumented Alloc Sites`` — POLM2 / NG2C (e.g. Cassandra-WI 11/11,
+  Lucene 2/8);
+* ``# Used Generations`` — POLM2 / NG2C (Cassandra 4/N — manual NG2C
+  creates one generation per memtable flush);
+* ``# Conflicts Encountered`` — POLM2 / NG2C.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional
+
+from repro.experiments.runner import ExperimentRunner, default_runner
+from repro.workloads import WORKLOAD_NAMES, make_workload
+
+#: The values the paper reports, for side-by-side comparison.
+PAPER_TABLE1 = {
+    "cassandra-wi": ("11/11", "4/N", "2/2"),
+    "cassandra-wr": ("11/11", "4/N", "2/2"),
+    "cassandra-ri": ("10/11", "4/N", "3/2"),
+    "lucene": ("2/8", "2/2", "2/0"),
+    "graphchi-cc": ("9/9", "2/2", "1/0"),
+    "graphchi-pr": ("9/9", "2/2", "1/0"),
+}
+
+
+@dataclasses.dataclass
+class Table1Row:
+    workload: str
+    polm2_sites: int
+    ng2c_sites: int
+    polm2_generations: int
+    ng2c_generations: str  # "N" when the manual strategy rotates
+    polm2_conflicts: int
+    ng2c_conflicts: int
+
+    def cells(self) -> List[str]:
+        return [
+            f"{self.polm2_sites}/{self.ng2c_sites}",
+            f"{self.polm2_generations}/{self.ng2c_generations}",
+            f"{self.polm2_conflicts}/{self.ng2c_conflicts}",
+        ]
+
+
+def build_row(runner: ExperimentRunner, workload: str) -> Table1Row:
+    profile = runner.profile(workload)
+    manual = make_workload(workload, seed=runner.settings.seed).manual_ng2c()
+    manual_sites = len({d.location for d in manual.alloc_directives})
+    if manual.rotate_generation_on_flush:
+        manual_gens = "N"
+    else:
+        gens = {
+            d.target_generation
+            for d in manual.call_directives
+            if d.target_generation >= 1
+        }
+        gens.update(
+            d.pre_set_gen
+            for d in manual.alloc_directives
+            if d.pre_set_gen is not None and d.pre_set_gen >= 1
+        )
+        manual_gens = str(len(gens) + 1)
+    return Table1Row(
+        workload=workload,
+        polm2_sites=profile.instrumented_site_count,
+        ng2c_sites=manual_sites,
+        polm2_generations=profile.generations_used,
+        ng2c_generations=manual_gens,
+        polm2_conflicts=profile.conflicts_detected,
+        ng2c_conflicts=manual.conflicts_handled,
+    )
+
+
+def run(runner: Optional[ExperimentRunner] = None) -> Dict[str, Table1Row]:
+    runner = runner or default_runner()
+    return {w: build_row(runner, w) for w in WORKLOAD_NAMES}
+
+
+def render(rows: Dict[str, Table1Row], include_paper: bool = True) -> str:
+    headers = ["workload", "alloc sites", "generations", "conflicts"]
+    if include_paper:
+        headers += ["paper: sites", "gens", "conflicts"]
+    lines = ["Table 1: Application Profiling Metrics (POLM2/NG2C)"]
+    lines.append(" ".join(f"{h:>14}" for h in headers))
+    for workload, row in rows.items():
+        cells = row.cells()
+        if include_paper:
+            cells += list(PAPER_TABLE1.get(workload, ("?", "?", "?")))
+        lines.append(
+            f"{workload:>14} " + " ".join(f"{c:>14}" for c in cells)
+        )
+    return "\n".join(lines)

@@ -1,0 +1,31 @@
+"""Garbage collectors over the simulated heap.
+
+Three collectors reproduce the paper's comparison set:
+
+* :class:`repro.gc.g1.G1Collector` — the OpenJDK default: two generations,
+  survivor aging, promotion, and mixed (old-region compaction) collections.
+  Its en-masse promotion and compaction of middle-lived big-data objects
+  is the pathology POLM2 removes.
+* :class:`repro.gc.ng2c.NG2CCollector` — NG2C (ISMM '17): N dynamic
+  generations and a pretenuring API (``new_generation`` /
+  ``get_generation`` / ``set_generation`` plus ``@Gen`` allocation sites).
+* :class:`repro.gc.c4.C4Collector` — a model of Azul's C4: concurrent
+  compaction with sub-10 ms pauses bought with a mutator barrier tax and
+  fully pre-reserved memory (paper §5.5).
+"""
+
+from repro.gc.base import GenerationalCollector
+from repro.gc.binary import BinaryPretenuringCollector
+from repro.gc.c4 import C4Collector
+from repro.gc.events import GCPause
+from repro.gc.g1 import G1Collector
+from repro.gc.ng2c import NG2CCollector
+
+__all__ = [
+    "BinaryPretenuringCollector",
+    "C4Collector",
+    "G1Collector",
+    "GCPause",
+    "GenerationalCollector",
+    "NG2CCollector",
+]

@@ -1,0 +1,182 @@
+"""Shared collector machinery: tracing, pause accounting, cycle hooks."""
+
+from __future__ import annotations
+
+import abc
+from typing import Callable, Dict, List, Optional, Set, TYPE_CHECKING
+
+from repro.errors import GCError
+from repro.gc.events import GCPause, PauseLog
+from repro.heap.objects import HeapObject
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.runtime.vm import VM
+
+#: Cycle listener: invoked with the pause event after every GC cycle.
+#: POLM2's Recorder registers one to trigger a heap snapshot at the end of
+#: each cycle (paper §3.2, "by default ... at the end of every GC cycle").
+CycleListener = Callable[[GCPause], None]
+
+
+class GenerationalCollector(abc.ABC):
+    """Base class for the simulated collectors.
+
+    Subclasses implement policy (when to collect what, where survivors
+    go); this base provides the mechanics every policy shares — root
+    tracing, pause recording against the virtual clock, and post-cycle
+    listener dispatch.
+    """
+
+    name = "abstract"
+
+    def __init__(self) -> None:
+        self.vm: Optional["VM"] = None
+        self.pause_log = PauseLog()
+        self.cycles = 0
+        self._cycle_listeners: List[CycleListener] = []
+        #: Live objects found by the most recent trace (consumed by the
+        #: Recorder's no-need page marking and by snapshot engines).
+        self.last_live_objects: List[HeapObject] = []
+        #: True when the last trace covered only the young generation
+        #: (remembered-set mode) — consumers needing full liveness (the
+        #: Recorder's snapshot trigger) must re-trace themselves.
+        self.last_trace_was_partial = False
+
+    # -- wiring ---------------------------------------------------------------------
+
+    def attach(self, vm: "VM") -> None:
+        self.vm = vm
+        self._on_attach()
+
+    def _on_attach(self) -> None:
+        """Subclass hook: create generations, size policies."""
+
+    def add_cycle_listener(self, listener: CycleListener) -> None:
+        self._cycle_listeners.append(listener)
+
+    def remove_cycle_listener(self, listener: CycleListener) -> None:
+        self._cycle_listeners.remove(listener)
+
+    # -- abstract policy ---------------------------------------------------------------
+
+    @abc.abstractmethod
+    def before_allocation(self, size: int) -> None:
+        """Run collections if allocating ``size`` bytes demands it."""
+
+    @abc.abstractmethod
+    def resolve_allocation_gen(self, pretenure_index: int) -> int:
+        """Map a profile generation index (0 = young) to a heap generation id.
+
+        Collectors without pretenuring ignore the index and return young.
+        """
+
+    def after_allocation(self, size: int, gen_id: int) -> None:
+        """Post-allocation hook (pretenured-byte accounting); optional."""
+
+    @abc.abstractmethod
+    def handle_oom(self) -> None:
+        """Last-ditch response to an allocation failure (full collection)."""
+
+    # -- properties -----------------------------------------------------------------
+
+    @property
+    def mutator_overhead(self) -> float:
+        """Multiplier on mutator op cost (barrier taxes); 1.0 = none."""
+        return 1.0
+
+    @property
+    def supports_pretenuring(self) -> bool:
+        return False
+
+    @property
+    def pauses(self) -> List[GCPause]:
+        return self.pause_log.pauses
+
+    # -- shared mechanics ----------------------------------------------------------------
+
+    def _require_vm(self) -> "VM":
+        if self.vm is None:
+            raise GCError(f"{self.name}: collector not attached to a VM")
+        return self.vm
+
+    def trace_live(self) -> List[HeapObject]:
+        """Trace the full object graph from VM roots."""
+        vm = self._require_vm()
+        live = vm.heap.trace_live(vm.iter_roots())
+        self.last_live_objects = live
+        self.last_trace_was_partial = False
+        return live
+
+    def trace_young_live(self) -> List[HeapObject]:
+        """Young-only liveness via roots + the old->young remembered set.
+
+        G1's real young-collection mechanism: instead of tracing the whole
+        heap, start from (i) roots that point directly into the young
+        generation and (ii) young children of remembered-set parents, then
+        close over young-to-young references only.  Conservative: a dead
+        tenured parent still in the remembered set keeps its young
+        children alive (floating garbage) until a full-liveness collection
+        prunes it.  Stale entries (parents with no young children left)
+        are dropped as they are scanned, as card refinement would.
+        """
+        vm = self._require_vm()
+        heap = vm.heap
+        stack: List[HeapObject] = [
+            root for root in vm.iter_roots() if root.gen_id == 0
+        ]
+        stale: List[int] = []
+        for parent_id, parent in heap.old_to_young_remset.items():
+            kids = [c for c in parent.refs if c.gen_id == 0]
+            if not kids:
+                stale.append(parent_id)
+                continue
+            stack.extend(kids)
+        for parent_id in stale:
+            del heap.old_to_young_remset[parent_id]
+        visited: Set[int] = set()
+        live: List[HeapObject] = []
+        while stack:
+            obj = stack.pop()
+            if obj.gen_id != 0 or obj.object_id in visited:
+                continue
+            visited.add(obj.object_id)
+            live.append(obj)
+            stack.extend(obj.refs)
+        self.last_live_objects = live
+        self.last_trace_was_partial = True
+        return live
+
+    def young_liveness(self) -> List[HeapObject]:
+        """Liveness for a young collection, honouring the remset config."""
+        vm = self._require_vm()
+        if vm.config.use_remembered_sets:
+            return self.trace_young_live()
+        return self.trace_live()
+
+    @staticmethod
+    def live_id_set(live: List[HeapObject]) -> Set[int]:
+        return {obj.object_id for obj in live}
+
+    def record_pause(
+        self, kind: str, duration_us: float, stats: Optional[Dict[str, int]] = None
+    ) -> GCPause:
+        """Advance the clock by a stop-the-world pause and log the event.
+
+        Dispatches cycle listeners after the pause completes; the Recorder
+        uses this moment to ask the Dumper for a snapshot.
+        """
+        vm = self._require_vm()
+        self.cycles += 1
+        pause = GCPause(
+            cycle=self.cycles,
+            start_ms=vm.clock.now_ms,
+            duration_ms=duration_us / 1000.0,
+            kind=kind,
+            collector=self.name,
+            stats=dict(stats or {}),
+        )
+        vm.clock.advance_us(duration_us)
+        self.pause_log.append(pause)
+        for listener in self._cycle_listeners:
+            listener(pause)
+        return pause

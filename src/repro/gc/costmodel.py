@@ -1,0 +1,85 @@
+"""Pause-duration cost model.
+
+Durations are *derived from work actually performed* on the simulated heap
+— objects scanned, bytes evacuated, bytes promoted across generations,
+bytes compacted in old regions.  The constants live in
+:class:`repro.config.CostModel`; this module turns work quantities into
+virtual microseconds.  Keeping the arithmetic in one place makes the
+ablation benches (what if promotion were free? what if compaction cost
+doubled?) one-line experiments.
+"""
+
+from __future__ import annotations
+
+from repro.config import CostModel
+
+_KIB = 1024.0
+
+
+def young_pause_us(
+    costs: CostModel,
+    scanned_objects: int,
+    survivor_bytes: int,
+    promoted_bytes: int,
+    tenured_bytes: int = 0,
+) -> float:
+    """Cost of a young (evacuation) pause.
+
+    Survivor copies stay within the young generation; promoted bytes also
+    pay the cross-generation tax.  ``tenured_bytes`` (total non-young heap)
+    drives the card-table/remembered-set scan — a floor paid even when
+    nothing survives.
+    """
+    return (
+        costs.pause_fixed_us
+        + costs.scan_obj_us * scanned_objects
+        + costs.copy_kib_us * (survivor_bytes / _KIB)
+        + (costs.copy_kib_us + costs.promote_kib_us) * (promoted_bytes / _KIB)
+        + costs.card_scan_kib_us * (tenured_bytes / _KIB)
+    )
+
+
+def mixed_pause_us(
+    costs: CostModel,
+    scanned_objects: int,
+    compacted_bytes: int,
+) -> float:
+    """Cost of a mixed collection: compacting live data out of old regions."""
+    return (
+        costs.pause_fixed_us
+        + costs.scan_obj_us * scanned_objects
+        + costs.compact_kib_us * (compacted_bytes / _KIB)
+    )
+
+
+def gen_pause_us(
+    costs: CostModel,
+    scanned_objects: int,
+    compacted_bytes: int,
+    regions_freed_wholesale: int,
+) -> float:
+    """Cost of collecting one NG2C dynamic generation.
+
+    Regions whose every object is dead are reclaimed without copying —
+    only a fixed, tiny per-region bookkeeping charge.  This is the payoff
+    of pretenuring like-lifetime objects together.
+    """
+    return (
+        costs.pause_fixed_us
+        + costs.scan_obj_us * scanned_objects
+        + costs.compact_kib_us * (compacted_bytes / _KIB)
+        + 2.0 * regions_freed_wholesale
+    )
+
+
+def full_pause_us(
+    costs: CostModel,
+    scanned_objects: int,
+    moved_bytes: int,
+) -> float:
+    """Cost of a full, compacting stop-the-world collection."""
+    return (
+        4.0 * costs.pause_fixed_us
+        + costs.scan_obj_us * scanned_objects
+        + costs.compact_kib_us * (moved_bytes / _KIB)
+    )

@@ -1,0 +1,80 @@
+"""GC pause and cycle event records."""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List
+
+
+#: Pause kinds, matching the collection types discussed in the paper.
+YOUNG = "young"
+MIXED = "mixed"
+GEN = "gen"  # NG2C collection of a dynamic generation
+FULL = "full"
+CONCURRENT = "concurrent"  # C4's brief synchronization pauses
+
+
+@dataclasses.dataclass(frozen=True)
+class GCPause:
+    """One stop-the-world pause.
+
+    Attributes:
+        cycle: monotonically increasing GC cycle number.
+        start_ms: virtual time at which the pause began.
+        duration_ms: pause duration in virtual milliseconds.
+        kind: one of ``young`` / ``mixed`` / ``gen`` / ``full`` /
+            ``concurrent``.
+        collector: collector name.
+        stats: work quantities behind the duration — scanned objects,
+            survivor/promoted/compacted bytes, regions freed without
+            copying, …
+    """
+
+    cycle: int
+    start_ms: float
+    duration_ms: float
+    kind: str
+    collector: str
+    stats: Dict[str, int] = dataclasses.field(default_factory=dict)
+
+    @property
+    def end_ms(self) -> float:
+        return self.start_ms + self.duration_ms
+
+
+class PauseLog:
+    """An append-only sequence of pauses with simple aggregations."""
+
+    def __init__(self) -> None:
+        self._pauses: List[GCPause] = []
+
+    def append(self, pause: GCPause) -> None:
+        self._pauses.append(pause)
+
+    @property
+    def pauses(self) -> List[GCPause]:
+        return list(self._pauses)
+
+    def durations_ms(self) -> List[float]:
+        return [p.duration_ms for p in self._pauses]
+
+    @property
+    def count(self) -> int:
+        return len(self._pauses)
+
+    @property
+    def total_pause_ms(self) -> float:
+        return sum(p.duration_ms for p in self._pauses)
+
+    @property
+    def worst_ms(self) -> float:
+        return max((p.duration_ms for p in self._pauses), default=0.0)
+
+    def by_kind(self, kind: str) -> List[GCPause]:
+        return [p for p in self._pauses if p.kind == kind]
+
+    def __len__(self) -> int:
+        return len(self._pauses)
+
+    def __iter__(self):
+        return iter(self._pauses)

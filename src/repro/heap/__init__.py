@@ -1,0 +1,21 @@
+"""Simulated region-based heap: pages, regions, generations, objects.
+
+This subpackage stands in for the HotSpot heap.  It models exactly the
+state POLM2's mechanisms depend on:
+
+* objects with headers carrying a *stable identity hash code* (the id the
+  Recorder logs and the Analyzer matches against snapshots, paper §4.3);
+* fixed-size virtual pages with kernel-style *dirty* and *no-need* bits
+  (what CRIU's incremental checkpoints and the madvise optimization in
+  paper §4.2 consult);
+* regions grouped into generations, with bump-pointer allocation —
+  the substrate both G1-like and NG2C-like collectors evacuate.
+"""
+
+from repro.heap.heap import SimHeap
+from repro.heap.objects import HeapObject
+from repro.heap.page import PageTable
+from repro.heap.region import Region
+from repro.heap.space import Generation
+
+__all__ = ["Generation", "HeapObject", "PageTable", "Region", "SimHeap"]

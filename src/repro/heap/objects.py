@@ -1,0 +1,146 @@
+"""Heap objects and their headers.
+
+A :class:`HeapObject` models a Java object as the GC and the profiler see
+it: a header (identity hash code, class id, age) plus a payload size and
+outgoing references.  Workload *semantics* (keys, postings, vertex values)
+live in plain Python attached elsewhere; the simulated heap only cares
+about sizes, references, and placement.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterable, Iterator, List
+
+#: Size in bytes of an object header (mark word + class word on HotSpot).
+HEADER_BYTES = 16
+
+_identity_hash_counter = itertools.count(1)
+
+
+def next_identity_hash() -> int:
+    """Return a fresh, never-reused identity hash code.
+
+    HotSpot computes identity hashes lazily and stores them in the object
+    header so they survive moves; modelling them as a monotonic counter
+    preserves the property the Analyzer relies on (paper §4.3): the id of
+    an object is stable across promotion and compaction.
+    """
+    return next(_identity_hash_counter)
+
+
+class HeapObject:
+    """A simulated heap object.
+
+    Attributes:
+        object_id: Stable identity hash code, assigned at allocation and
+            preserved across moves (stored in the header).
+        class_id: Interned class identifier (see the runtime's code model).
+        size: Total size in bytes, header included.
+        site_id: Allocation-site id (0 when allocated outside any site).
+        trace_id: Stack-trace id at allocation (0 when unknown).
+        gen_id: Id of the generation currently holding the object.
+        address: Current virtual address; changes when the object moves.
+        age: Number of young collections survived (G1 tenuring input).
+        birth_cycle: GC cycle count at allocation time.
+    """
+
+    __slots__ = (
+        "object_id",
+        "class_id",
+        "size",
+        "site_id",
+        "trace_id",
+        "gen_id",
+        "address",
+        "age",
+        "birth_cycle",
+        "_refs",
+    )
+
+    def __init__(
+        self,
+        size: int,
+        class_id: int = 0,
+        site_id: int = 0,
+        trace_id: int = 0,
+        birth_cycle: int = 0,
+    ) -> None:
+        if size < HEADER_BYTES:
+            raise ValueError(
+                f"object size {size} smaller than header ({HEADER_BYTES} bytes)"
+            )
+        self.object_id = next_identity_hash()
+        self.class_id = class_id
+        self.size = size
+        self.site_id = site_id
+        self.trace_id = trace_id
+        self.gen_id = -1
+        self.address = -1
+        self.age = 0
+        self.birth_cycle = birth_cycle
+        self._refs: List[HeapObject] = []
+
+    @property
+    def refs(self) -> List["HeapObject"]:
+        """Outgoing references (read-only view by convention).
+
+        Mutate through :meth:`repro.heap.heap.SimHeap.write_ref` /
+        :meth:`~repro.heap.heap.SimHeap.remove_ref` so that the pages
+        holding the object are marked dirty, as a real store barrier would.
+        """
+        return self._refs
+
+    def iter_refs(self) -> Iterator["HeapObject"]:
+        return iter(self._refs)
+
+    def _append_ref(self, target: "HeapObject") -> None:
+        self._refs.append(target)
+
+    def _remove_ref(self, target: "HeapObject") -> None:
+        self._refs.remove(target)
+
+    def _replace_refs(self, targets: Iterable["HeapObject"]) -> None:
+        self._refs = list(targets)
+
+    def page_span(self, page_size: int) -> range:
+        """Indices of the pages this object occupies at its current address."""
+        if self.address < 0:
+            return range(0)
+        first = self.address // page_size
+        last = (self.address + self.size - 1) // page_size
+        return range(first, last + 1)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"HeapObject(id={self.object_id}, size={self.size}, "
+            f"gen={self.gen_id}, addr={self.address}, age={self.age})"
+        )
+
+
+def total_bytes(objects: Iterable[HeapObject]) -> int:
+    """Sum of object sizes — convenience for live-byte accounting."""
+    return sum(obj.size for obj in objects)
+
+
+class ObjectHeaderReader:
+    """Reads identity hash codes out of object headers.
+
+    Models the Analyzer-side header walk of paper §4.3: ids recorded by the
+    Recorder are matched against snapshot contents *by reading each object
+    header*, never by address (addresses change when objects move).
+    """
+
+    @staticmethod
+    def identity_hash(obj: HeapObject) -> int:
+        return obj.object_id
+
+    @staticmethod
+    def read_all(objects: Iterable[HeapObject]) -> List[int]:
+        return [obj.object_id for obj in objects]
+
+
+# Test hook: resetting the counter keeps unit-test expectations readable.
+def _reset_identity_hashes() -> None:
+    global _identity_hash_counter
+    _identity_hash_counter = itertools.count(1)

@@ -1,0 +1,168 @@
+"""Virtual page table with dirty and no-need bits.
+
+CRIU's incremental checkpoints (paper §4.2) rely on two kernel page-table
+bits:
+
+* the **dirty** bit — set by the MMU whenever a page is written, cleared by
+  CRIU at each snapshot, so the next snapshot includes only pages written
+  since the previous one;
+* the **no-need** bit — set through ``madvise`` by POLM2's Recorder on every
+  page that contains no live objects, so the Dumper can skip them.
+
+This module models both bits over a flat virtual address space.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List
+
+from repro.config import PAGE_SIZE
+from repro.errors import InvalidAddressError
+
+_DIRTY = 0x1
+_NO_NEED = 0x2
+
+
+class PageTable:
+    """Tracks per-page dirty / no-need flags for a linear address space."""
+
+    def __init__(self, address_space_bytes: int, page_size: int = PAGE_SIZE) -> None:
+        if address_space_bytes <= 0:
+            raise ValueError("address space must be positive")
+        if page_size <= 0:
+            raise ValueError("page size must be positive")
+        self.page_size = page_size
+        self.num_pages = (address_space_bytes + page_size - 1) // page_size
+        self._flags = bytearray(self.num_pages)
+
+    # -- address helpers ----------------------------------------------------
+
+    def page_index(self, address: int) -> int:
+        if not 0 <= address < self.num_pages * self.page_size:
+            raise InvalidAddressError(f"address {address:#x} outside address space")
+        return address // self.page_size
+
+    def pages_for_range(self, address: int, length: int) -> range:
+        """Page indices spanned by ``length`` bytes starting at ``address``."""
+        if length <= 0:
+            return range(0)
+        first = self.page_index(address)
+        last = self.page_index(address + length - 1)
+        return range(first, last + 1)
+
+    # -- dirty bit (written-since-last-snapshot) ----------------------------
+
+    def mark_dirty_range(self, address: int, length: int) -> None:
+        """Record a write of ``length`` bytes at ``address`` (store barrier)."""
+        if length <= 0:
+            return
+        # Hot path: inline the page arithmetic (no bounds re-validation —
+        # addresses come from the allocator, which already checked them).
+        flags = self._flags
+        page_size = self.page_size
+        first = address // page_size
+        last = (address + length - 1) // page_size
+        for page in range(first, last + 1):
+            flags[page] |= _DIRTY
+
+    def mark_written_range(self, address: int, length: int) -> None:
+        """A fresh write: dirty the pages and clear any stale no-need advice
+        in a single pass (allocation / evacuation fast path)."""
+        if length <= 0:
+            return
+        flags = self._flags
+        page_size = self.page_size
+        first = address // page_size
+        last = (address + length - 1) // page_size
+        for page in range(first, last + 1):
+            flags[page] = (flags[page] | _DIRTY) & ~_NO_NEED
+
+    def mark_dirty_pages(self, pages: Iterable[int]) -> None:
+        for page in pages:
+            self._flags[page] |= _DIRTY
+
+    def is_dirty(self, page: int) -> bool:
+        return bool(self._flags[page] & _DIRTY)
+
+    def dirty_pages(self) -> List[int]:
+        flags = self._flags
+        return [i for i in range(self.num_pages) if flags[i] & _DIRTY]
+
+    def clear_dirty(self) -> int:
+        """Clear every dirty bit (CRIU does this at snapshot time).
+
+        Returns the number of pages that were dirty.
+        """
+        count = 0
+        flags = self._flags
+        for i in range(self.num_pages):
+            if flags[i] & _DIRTY:
+                flags[i] &= ~_DIRTY
+                count += 1
+        return count
+
+    # -- no-need bit (madvise MADV_FREE-style) -------------------------------
+
+    def set_no_need(self, pages: Iterable[int]) -> None:
+        for page in pages:
+            self._flags[page] |= _NO_NEED
+
+    def clear_no_need(self, pages: Iterable[int]) -> None:
+        for page in pages:
+            self._flags[page] &= ~_NO_NEED
+
+    def clear_all_no_need(self) -> None:
+        for i in range(self.num_pages):
+            self._flags[i] &= ~_NO_NEED
+
+    def is_no_need(self, page: int) -> bool:
+        return bool(self._flags[page] & _NO_NEED)
+
+    def no_need_pages(self) -> List[int]:
+        flags = self._flags
+        return [i for i in range(self.num_pages) if flags[i] & _NO_NEED]
+
+    # -- snapshot support -----------------------------------------------------
+
+    def snapshot_candidate_pages(self) -> List[int]:
+        """Pages CRIU would include: dirty and not marked no-need."""
+        flags = self._flags
+        return [
+            i
+            for i in range(self.num_pages)
+            if (flags[i] & _DIRTY) and not (flags[i] & _NO_NEED)
+        ]
+
+    def counts(self) -> "PageCounts":
+        dirty = no_need = both = 0
+        for flag in self._flags:
+            if flag & _DIRTY:
+                dirty += 1
+            if flag & _NO_NEED:
+                no_need += 1
+            if (flag & _DIRTY) and (flag & _NO_NEED):
+                both += 1
+        return PageCounts(
+            total=self.num_pages, dirty=dirty, no_need=no_need, dirty_and_no_need=both
+        )
+
+    def iter_pages(self) -> Iterator[int]:
+        return iter(range(self.num_pages))
+
+
+class PageCounts:
+    """Aggregate page-table statistics."""
+
+    __slots__ = ("total", "dirty", "no_need", "dirty_and_no_need")
+
+    def __init__(self, total: int, dirty: int, no_need: int, dirty_and_no_need: int):
+        self.total = total
+        self.dirty = dirty
+        self.no_need = no_need
+        self.dirty_and_no_need = dirty_and_no_need
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"PageCounts(total={self.total}, dirty={self.dirty}, "
+            f"no_need={self.no_need}, both={self.dirty_and_no_need})"
+        )

@@ -1,0 +1,89 @@
+"""Heap regions: fixed-size, bump-allocated slices of the address space.
+
+Both G1 and NG2C organize the heap as equal-sized regions; a generation is
+a set of regions.  Evacuation copies live objects out of a region and
+returns the whole region to the free list — which is exactly why
+pretenuring pays off: when objects with the same lifetime share regions,
+entire regions die together and are reclaimed *without copying anything*.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.errors import RegionFullError
+from repro.heap.objects import HeapObject
+
+
+class Region:
+    """A fixed-size region with a bump pointer."""
+
+    __slots__ = ("index", "base", "size", "top", "gen_id", "objects")
+
+    def __init__(self, index: int, base: int, size: int) -> None:
+        self.index = index
+        self.base = base
+        self.size = size
+        self.top = 0
+        self.gen_id: Optional[int] = None
+        self.objects: List[HeapObject] = []
+
+    # -- allocation -----------------------------------------------------------
+
+    def has_room(self, size: int) -> bool:
+        return self.top + size <= self.size
+
+    def bump_allocate(self, obj: HeapObject) -> int:
+        """Place ``obj`` at the bump pointer and return its address."""
+        if not self.has_room(obj.size):
+            raise RegionFullError(
+                f"region {self.index}: {obj.size} bytes requested, "
+                f"{self.size - self.top} free"
+            )
+        address = self.base + self.top
+        self.top += obj.size
+        obj.address = address
+        self.objects.append(obj)
+        return address
+
+    # -- accounting -----------------------------------------------------------
+
+    @property
+    def used_bytes(self) -> int:
+        return self.top
+
+    @property
+    def free_bytes(self) -> int:
+        return self.size - self.top
+
+    def live_bytes(self, live_ids: "set[int]") -> int:
+        """Bytes occupied by objects whose ids are in ``live_ids``."""
+        return sum(obj.size for obj in self.objects if obj.object_id in live_ids)
+
+    def page_span(self, page_size: int) -> range:
+        """Pages covered by the *used* part of this region."""
+        if self.top == 0:
+            return range(0)
+        first = self.base // page_size
+        last = (self.base + self.top - 1) // page_size
+        return range(first, last + 1)
+
+    def full_page_span(self, page_size: int) -> range:
+        """Pages covered by the whole region, used or not."""
+        first = self.base // page_size
+        last = (self.base + self.size - 1) // page_size
+        return range(first, last + 1)
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def reset(self) -> None:
+        """Return the region to the free pool (contents become garbage)."""
+        self.top = 0
+        self.gen_id = None
+        self.objects.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Region(index={self.index}, gen={self.gen_id}, "
+            f"used={self.used_bytes}/{self.size}, objs={len(self.objects)})"
+        )

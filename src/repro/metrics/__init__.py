@@ -1,0 +1,27 @@
+"""Measurement and reporting: percentiles, histograms, throughput, memory."""
+
+from repro.metrics.histogram import PauseHistogram, histogram_table
+from repro.metrics.latency import LatencyProfile, latency_profile, sla_table
+from repro.metrics.memory import normalized_memory_table
+from repro.metrics.percentiles import (
+    PAPER_PERCENTILES,
+    percentile,
+    percentile_row,
+    percentile_table,
+)
+from repro.metrics.throughput import normalized_throughput, throughput_table
+
+__all__ = [
+    "LatencyProfile",
+    "PAPER_PERCENTILES",
+    "PauseHistogram",
+    "latency_profile",
+    "sla_table",
+    "histogram_table",
+    "normalized_memory_table",
+    "normalized_throughput",
+    "percentile",
+    "percentile_row",
+    "percentile_table",
+    "throughput_table",
+]

@@ -1,0 +1,84 @@
+"""Pause-duration interval histograms (Figure 6).
+
+Figure 6 plots "the number of application pauses that occur in each pause
+time interval"; fewer pauses in the right-hand (long) intervals is
+better.  Intervals are geometric, starting at 1 ms.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+#: Default interval edges in ms: [0,1), [1,2), [2,4) … [512, inf).
+DEFAULT_EDGES_MS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 512.0)
+
+
+class PauseHistogram:
+    """Counts pauses per duration interval."""
+
+    def __init__(self, edges_ms: Sequence[float] = DEFAULT_EDGES_MS) -> None:
+        if list(edges_ms) != sorted(edges_ms):
+            raise ValueError("histogram edges must be sorted ascending")
+        if not edges_ms:
+            raise ValueError("at least one edge is required")
+        self.edges_ms = tuple(edges_ms)
+        self.counts = [0] * (len(self.edges_ms) + 1)
+
+    def add(self, duration_ms: float) -> None:
+        for i, edge in enumerate(self.edges_ms):
+            if duration_ms < edge:
+                self.counts[i] += 1
+                return
+        self.counts[-1] += 1
+
+    def add_all(self, durations_ms: Sequence[float]) -> "PauseHistogram":
+        for duration in durations_ms:
+            self.add(duration)
+        return self
+
+    def labels(self) -> List[str]:
+        labels = [f"<{self.edges_ms[0]:g}"]
+        for low, high in zip(self.edges_ms, self.edges_ms[1:]):
+            labels.append(f"{low:g}-{high:g}")
+        labels.append(f">={self.edges_ms[-1]:g}")
+        return labels
+
+    def intervals(self) -> List[Tuple[str, int]]:
+        return list(zip(self.labels(), self.counts))
+
+    @property
+    def total(self) -> int:
+        return sum(self.counts)
+
+    def long_pause_count(self, threshold_ms: float) -> int:
+        """Pauses at or above ``threshold_ms`` (the "bad right tail")."""
+        count = 0
+        for i, edge in enumerate(self.edges_ms):
+            if edge > threshold_ms:
+                count += self.counts[i]
+        count += self.counts[-1]
+        # Intervals straddling the threshold are counted conservatively:
+        # an interval is included once its lower edge reaches the threshold.
+        return count
+
+
+def histogram_table(
+    series: Dict[str, Sequence[float]],
+    edges_ms: Sequence[float] = DEFAULT_EDGES_MS,
+    title: str = "pauses per duration interval (ms)",
+) -> str:
+    """Render one Figure 6 panel: rows = strategies, columns = intervals."""
+    histograms = {
+        name: PauseHistogram(edges_ms).add_all(durations)
+        for name, durations in series.items()
+    }
+    labels = PauseHistogram(edges_ms).labels()
+    name_width = max((len(name) for name in series), default=8)
+    lines = [title]
+    lines.append(
+        f"{'':{name_width}} " + " ".join(f"{label:>9}" for label in labels)
+    )
+    for name, hist in histograms.items():
+        cells = " ".join(f"{count:>9d}" for count in hist.counts)
+        lines.append(f"{name:{name_width}} {cells}")
+    return "\n".join(lines)

@@ -1,0 +1,40 @@
+"""Max-memory-usage metrics (Figure 9)."""
+
+from __future__ import annotations
+
+from typing import Dict
+
+
+def normalized_memory(
+    peak_bytes: Dict[str, int], baseline: str = "g1"
+) -> Dict[str, float]:
+    """Normalize each strategy's max memory usage to the baseline."""
+    if baseline not in peak_bytes:
+        raise KeyError(f"baseline {baseline!r} missing from results")
+    base = peak_bytes[baseline]
+    if base <= 0:
+        raise ValueError("baseline memory must be positive")
+    return {name: value / base for name, value in peak_bytes.items()}
+
+
+def normalized_memory_table(
+    normalized: Dict[str, Dict[str, float]],
+    title: str = "max memory usage normalized to G1",
+) -> str:
+    """Render Figure 9: rows = workloads, columns = strategies."""
+    strategies: list = []
+    for row in normalized.values():
+        for name in row:
+            if name not in strategies:
+                strategies.append(name)
+    workload_width = max((len(name) for name in normalized), default=10)
+    lines = [title]
+    lines.append(
+        f"{'':{workload_width}} " + " ".join(f"{s:>8}" for s in strategies)
+    )
+    for workload, row in normalized.items():
+        cells = " ".join(
+            f"{row.get(s, float('nan')):>8.3f}" for s in strategies
+        )
+        lines.append(f"{workload:{workload_width}} {cells}")
+    return "\n".join(lines)

@@ -1,0 +1,52 @@
+"""Pause-time percentiles, matching Figure 5's x-axis.
+
+The paper reports percentiles 50, 90, 99, 99.9, 99.99, 99.999 plus the
+worst observable pause.  Percentiles use the nearest-rank method, which
+is what pause-time SLAs quote.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence
+
+#: The percentiles of the paper's Figure 5.
+PAPER_PERCENTILES = (50.0, 90.0, 99.0, 99.9, 99.99, 99.999)
+
+
+def percentile(values: Sequence[float], pct: float) -> float:
+    """Nearest-rank percentile; 0.0 for an empty sequence."""
+    if not 0.0 < pct <= 100.0:
+        raise ValueError(f"percentile must be in (0, 100], got {pct}")
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    rank = max(1, math.ceil(pct / 100.0 * len(ordered)))
+    return ordered[rank - 1]
+
+
+def percentile_row(values: Sequence[float]) -> List[float]:
+    """The Figure 5 series for one strategy: paper percentiles + max."""
+    row = [percentile(values, pct) for pct in PAPER_PERCENTILES]
+    row.append(max(values) if values else 0.0)
+    return row
+
+
+def percentile_table(
+    series: Dict[str, Sequence[float]], title: str = "pause times (ms)"
+) -> str:
+    """Render one Figure 5 panel as a text table.
+
+    ``series`` maps strategy name (G1, NG2C, POLM2) to pause durations.
+    """
+    headers = [f"P{str(p).rstrip('0').rstrip('.')}" for p in PAPER_PERCENTILES]
+    headers.append("max")
+    lines = [title]
+    name_width = max((len(name) for name in series), default=8)
+    header_cells = " ".join(f"{h:>10}" for h in headers)
+    lines.append(f"{'':{name_width}} {header_cells}")
+    for name, values in series.items():
+        row = percentile_row(values)
+        cells = " ".join(f"{v:>10.2f}" for v in row)
+        lines.append(f"{name:{name_width}} {cells}")
+    return "\n".join(lines)

@@ -1,0 +1,91 @@
+"""Tiny ASCII plotting helpers for terminal-rendered figures.
+
+No plotting dependency is available offline, so the figure renderers and
+examples use these block-character sparklines and bar charts to convey
+the *shape* of a series — which is all the reproduction claims anyway.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+_BLOCKS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float], width: int = 60) -> str:
+    """Render a series as a one-line block-character sparkline.
+
+    Values are min-max normalized; the series is resampled to ``width``
+    points by bucket-averaging when longer.
+    """
+    if not values:
+        return ""
+    series: List[float] = list(values)
+    if len(series) > width:
+        bucket = len(series) / width
+        series = [
+            sum(series[int(i * bucket) : max(int(i * bucket) + 1, int((i + 1) * bucket))])
+            / max(1, len(series[int(i * bucket) : max(int(i * bucket) + 1, int((i + 1) * bucket))]))
+            for i in range(width)
+        ]
+    low = min(series)
+    high = max(series)
+    span = high - low
+    if span <= 0:
+        return _BLOCKS[3] * len(series)
+    return "".join(
+        _BLOCKS[min(len(_BLOCKS) - 1, int((v - low) / span * (len(_BLOCKS) - 1)))]
+        for v in series
+    )
+
+
+def hbar_chart(
+    values: Dict[str, float], width: int = 40, unit: str = ""
+) -> str:
+    """Render labelled horizontal bars, scaled to the maximum value."""
+    if not values:
+        return ""
+    peak = max(values.values())
+    label_width = max(len(label) for label in values)
+    lines = []
+    for label, value in values.items():
+        bar = "█" * max(1, int(width * value / peak)) if peak > 0 else ""
+        lines.append(f"{label:>{label_width}} {bar} {value:g}{unit}")
+    return "\n".join(lines)
+
+
+def timeline_panel(
+    timelines: Dict[str, Sequence[float]], width: int = 60
+) -> str:
+    """One sparkline per strategy over a shared scale (Fig. 8 style)."""
+    if not timelines:
+        return ""
+    all_values = [v for series in timelines.values() for v in series]
+    if not all_values:
+        return ""
+    low, high = min(all_values), max(all_values)
+    span = high - low
+    label_width = max(len(label) for label in timelines)
+    lines = []
+    for label, series in timelines.items():
+        if span <= 0:
+            spark = _BLOCKS[3] * min(width, len(series))
+        else:
+            resampled = list(series)
+            if len(resampled) > width:
+                bucket = len(resampled) / width
+                resampled = [
+                    resampled[int(i * bucket)] for i in range(width)
+                ]
+            spark = "".join(
+                _BLOCKS[
+                    min(
+                        len(_BLOCKS) - 1,
+                        int((v - low) / span * (len(_BLOCKS) - 1)),
+                    )
+                ]
+                for v in resampled
+            )
+        mean = sum(series) / len(series) if series else 0.0
+        lines.append(f"{label:>{label_width}} {spark} (mean {mean:.0f})")
+    return "\n".join(lines)

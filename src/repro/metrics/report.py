@@ -1,0 +1,29 @@
+"""Full evaluation report: every table and figure in one text document.
+
+Used by ``python -m repro evaluate`` and by EXPERIMENTS.md regeneration.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import fig3_fig4, fig5, fig6, fig7, fig8, fig9, table1
+from repro.experiments.runner import ExperimentRunner
+
+
+def full_report(
+    runner: ExperimentRunner,
+    include_snapshots: bool = True,
+    snapshot_duration_ms: float = 25_000.0,
+) -> str:
+    """Regenerate Table 1 and Figures 3-9 as one report."""
+    sections = []
+    sections.append(table1.render(table1.run(runner)))
+    if include_snapshots:
+        comparisons = fig3_fig4.run(duration_ms=snapshot_duration_ms)
+        sections.append(fig3_fig4.render(comparisons))
+    sections.append(fig5.render(fig5.run(runner)))
+    sections.append(fig6.render(fig6.run(runner)))
+    sections.append(fig7.render(fig7.run(runner)))
+    sections.append(fig8.render(fig8.run(runner)))
+    sections.append(fig9.render(fig9.run(runner, include_c4=True)))
+    divider = "\n\n" + "=" * 78 + "\n\n"
+    return divider.join(sections)

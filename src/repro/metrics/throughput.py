@@ -1,0 +1,54 @@
+"""Throughput metrics (Figures 7 and 8)."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+
+def normalized_throughput(
+    ops_per_second: Dict[str, float], baseline: str = "g1"
+) -> Dict[str, float]:
+    """Normalize each strategy's throughput to the baseline (Fig. 7).
+
+    A value above 1.0 means the strategy outperforms G1.
+    """
+    if baseline not in ops_per_second:
+        raise KeyError(f"baseline {baseline!r} missing from results")
+    base = ops_per_second[baseline]
+    if base <= 0:
+        raise ValueError("baseline throughput must be positive")
+    return {name: value / base for name, value in ops_per_second.items()}
+
+
+def throughput_table(
+    normalized: Dict[str, Dict[str, float]],
+    title: str = "throughput normalized to G1",
+) -> str:
+    """Render Figure 7: rows = workloads, columns = strategies."""
+    strategies: List[str] = []
+    for row in normalized.values():
+        for name in row:
+            if name not in strategies:
+                strategies.append(name)
+    workload_width = max((len(name) for name in normalized), default=10)
+    lines = [title]
+    lines.append(
+        f"{'':{workload_width}} " + " ".join(f"{s:>8}" for s in strategies)
+    )
+    for workload, row in normalized.items():
+        cells = " ".join(
+            f"{row.get(s, float('nan')):>8.3f}" for s in strategies
+        )
+        lines.append(f"{workload:{workload_width}} {cells}")
+    return "\n".join(lines)
+
+
+def timeline_summary(timeline: Sequence[float]) -> Dict[str, float]:
+    """Mean/min/max of a per-second ops timeline (Fig. 8 sanity stats)."""
+    if not timeline:
+        return {"mean": 0.0, "min": 0.0, "max": 0.0}
+    return {
+        "mean": sum(timeline) / len(timeline),
+        "min": min(timeline),
+        "max": max(timeline),
+    }

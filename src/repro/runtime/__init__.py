@@ -1,0 +1,35 @@
+"""Simulated managed runtime: code model, threads, class loading, VM.
+
+This subpackage stands in for the parts of the JVM that POLM2 touches:
+
+* a method-level **code model** (:mod:`repro.runtime.code`) — classes,
+  methods, allocation sites, and call sites identified by
+  ⟨class, method, line⟩, the granularity at which ASM-based agents rewrite
+  bytecode;
+* a **class loader** with transformer hooks (:mod:`repro.runtime.classloader`)
+  mirroring ``java.lang.instrument`` agents: the Recorder and the
+  Instrumenter register as transformers and rewrite classes at load time;
+* simulated **threads** with frames, stack traces, and the thread-local
+  *target generation* NG2C's ``setGeneration`` manipulates;
+* a **virtual clock** so every duration is deterministic.
+"""
+
+from repro.runtime.classloader import ClassLoader, ClassTransformer
+from repro.runtime.clock import VirtualClock
+from repro.runtime.code import AllocSite, CallSite, ClassModel, MethodModel
+from repro.runtime.roots import RootRegistry
+from repro.runtime.thread import SimThread
+from repro.runtime.vm import VM
+
+__all__ = [
+    "AllocSite",
+    "CallSite",
+    "ClassLoader",
+    "ClassModel",
+    "ClassTransformer",
+    "MethodModel",
+    "RootRegistry",
+    "SimThread",
+    "VM",
+    "VirtualClock",
+]

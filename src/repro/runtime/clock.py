@@ -1,0 +1,45 @@
+"""Deterministic virtual time.
+
+All durations in the reproduction are *virtual*: mutator operations and GC
+pauses advance this clock by amounts charged from the cost model.  Nothing
+reads the host clock, so runs are bit-for-bit reproducible and the measured
+ratios are independent of the machine executing the simulation.
+"""
+
+from __future__ import annotations
+
+
+class VirtualClock:
+    """A monotonically advancing virtual clock with microsecond resolution."""
+
+    __slots__ = ("_now_us",)
+
+    def __init__(self, start_us: float = 0.0) -> None:
+        if start_us < 0:
+            raise ValueError("clock cannot start before zero")
+        self._now_us = float(start_us)
+
+    @property
+    def now_us(self) -> float:
+        return self._now_us
+
+    @property
+    def now_ms(self) -> float:
+        return self._now_us / 1000.0
+
+    @property
+    def now_s(self) -> float:
+        return self._now_us / 1_000_000.0
+
+    def advance_us(self, delta_us: float) -> float:
+        """Advance the clock; returns the new time in microseconds."""
+        if delta_us < 0:
+            raise ValueError("time cannot move backwards")
+        self._now_us += delta_us
+        return self._now_us
+
+    def advance_ms(self, delta_ms: float) -> float:
+        return self.advance_us(delta_ms * 1000.0)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"VirtualClock(now={self.now_ms:.3f} ms)"

@@ -1,0 +1,41 @@
+"""GC root registry: static references plus thread stacks."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional
+
+from repro.heap.objects import HeapObject
+
+
+class RootRegistry:
+    """Named static roots (class statics, JNI handles) for the whole VM.
+
+    Workloads pin their top-level structures (a store, an index, a graph)
+    here; everything transitively reachable from these roots or from thread
+    frames survives collection.
+    """
+
+    def __init__(self) -> None:
+        self._statics: Dict[str, HeapObject] = {}
+
+    def pin(self, name: str, obj: HeapObject) -> HeapObject:
+        """Register (or replace) a named static root."""
+        self._statics[name] = obj
+        return obj
+
+    def unpin(self, name: str) -> Optional[HeapObject]:
+        """Drop a named static root; returns the object previously pinned."""
+        return self._statics.pop(name, None)
+
+    def get(self, name: str) -> Optional[HeapObject]:
+        return self._statics.get(name)
+
+    def iter_static_roots(self) -> Iterator[HeapObject]:
+        return iter(list(self._statics.values()))
+
+    @property
+    def names(self) -> List[str]:
+        return sorted(self._statics)
+
+    def __len__(self) -> int:
+        return len(self._statics)

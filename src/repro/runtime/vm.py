@@ -1,0 +1,168 @@
+"""The VM façade: heap + clock + threads + class loader + collector."""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, List, Optional, Sequence, TYPE_CHECKING
+
+from repro.config import SimConfig
+from repro.errors import OutOfMemoryError
+from repro.heap.heap import SimHeap
+from repro.heap.objects import HeapObject
+from repro.runtime.classloader import ClassLoader
+from repro.runtime.clock import VirtualClock
+from repro.runtime.code import AllocSite, SiteRegistry
+from repro.runtime.roots import RootRegistry
+from repro.runtime.thread import SimThread
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.gc.base import GenerationalCollector
+
+#: Allocation listener: ``(obj, site, stack_trace)`` — the Recorder's hook.
+AllocListener = Callable[[HeapObject, AllocSite, tuple], None]
+
+
+class VM:
+    """A simulated JVM instance.
+
+    Wires together the heap, the virtual clock, the class loader (with its
+    agent transformers), application threads, the GC root set, and a
+    pluggable collector.  Workloads interact with the VM through
+    :class:`~repro.runtime.thread.SimThread` (calls + allocations) and
+    :meth:`tick_op` (mutator work).
+    """
+
+    def __init__(
+        self,
+        config: Optional[SimConfig] = None,
+        collector: Optional["GenerationalCollector"] = None,
+    ) -> None:
+        self.config = config or SimConfig()
+        self.clock = VirtualClock()
+        self.heap = SimHeap(self.config)
+        self.classloader = ClassLoader()
+        self.roots = RootRegistry()
+        self.sites = SiteRegistry()
+        self.threads: List[SimThread] = []
+        self._alloc_listeners: List[AllocListener] = []
+        self.ops_completed = 0
+        #: Executed ``setGeneration`` API calls (the overhead §4.4's
+        #: push-up optimization minimizes; exercised by ablation benches).
+        self.set_generation_calls = 0
+        self.collector: Optional["GenerationalCollector"] = None
+        if collector is not None:
+            self.set_collector(collector)
+
+    # -- wiring ---------------------------------------------------------------------
+
+    def set_collector(self, collector: "GenerationalCollector") -> None:
+        self.collector = collector
+        collector.attach(self)
+
+    def new_thread(self, name: str) -> SimThread:
+        thread = SimThread(self, name)
+        self.threads.append(thread)
+        return thread
+
+    def add_alloc_listener(self, listener: AllocListener) -> None:
+        self._alloc_listeners.append(listener)
+
+    def remove_alloc_listener(self, listener: AllocListener) -> None:
+        self._alloc_listeners.remove(listener)
+
+    # -- roots ----------------------------------------------------------------------
+
+    def iter_roots(self) -> Iterator[HeapObject]:
+        yield from self.roots.iter_static_roots()
+        for thread in self.threads:
+            yield from thread.iter_roots()
+
+    # -- allocation -----------------------------------------------------------------
+
+    def allocate_at_site(
+        self,
+        thread: SimThread,
+        site: AllocSite,
+        size: int,
+        pretenure_index: int = 0,
+        refs: Sequence[HeapObject] = (),
+    ) -> HeapObject:
+        """Allocate through a declared allocation site (the normal path)."""
+        if self.collector is None:
+            raise OutOfMemoryError("no collector attached to the VM")
+        self.collector.before_allocation(size)
+        gen_id = self.collector.resolve_allocation_gen(pretenure_index)
+        site_id = site.cached_site_id
+        if site_id == 0:
+            site_id = self.sites.site_id(site.location)
+            site.cached_site_id = site_id
+        trace: tuple = ()
+        trace_id = 0
+        if site.record_hook and self._alloc_listeners:
+            trace = thread.current_stack_trace()
+            trace_id = self.sites.trace_id(trace)
+        try:
+            obj = self._heap_alloc(size, gen_id, site_id, trace_id, refs)
+        except OutOfMemoryError:
+            self.collector.handle_oom()
+            obj = self._heap_alloc(size, gen_id, site_id, trace_id, refs)
+        if gen_id != 0:
+            # Pretenured allocation takes the non-TLAB slow path.
+            self.clock.advance_us(
+                self.config.costs.pretenure_alloc_kib_us * (size / 1024.0)
+            )
+        self.collector.after_allocation(size, gen_id)
+        if site.record_hook:
+            for listener in self._alloc_listeners:
+                listener(obj, site, trace)
+        return obj
+
+    def allocate_anonymous(
+        self, size: int, refs: Sequence[HeapObject] = ()
+    ) -> HeapObject:
+        """Allocate outside any modelled site (JDK-internal noise)."""
+        if self.collector is None:
+            raise OutOfMemoryError("no collector attached to the VM")
+        self.collector.before_allocation(size)
+        gen_id = self.collector.resolve_allocation_gen(0)
+        try:
+            return self._heap_alloc(size, gen_id, 0, 0, refs)
+        except OutOfMemoryError:
+            self.collector.handle_oom()
+            return self._heap_alloc(size, gen_id, 0, 0, refs)
+
+    def _heap_alloc(
+        self,
+        size: int,
+        gen_id: int,
+        site_id: int,
+        trace_id: int,
+        refs: Sequence[HeapObject],
+    ) -> HeapObject:
+        return self.heap.allocate(
+            size=size,
+            gen_id=gen_id,
+            site_id=site_id,
+            trace_id=trace_id,
+            birth_cycle=self.collector.cycles if self.collector else 0,
+            refs=refs,
+        )
+
+    # -- mutator time ------------------------------------------------------------------
+
+    def tick_op(self, weight: float = 1.0) -> None:
+        """Account one workload operation's mutator time.
+
+        The collector's barrier overhead (C4's read/write barriers) scales
+        the cost; stop-the-world pauses are charged separately by the
+        collector itself.
+        """
+        self.ops_completed += 1
+        overhead = self.collector.mutator_overhead if self.collector else 1.0
+        self.clock.advance_us(self.config.costs.op_base_us * weight * overhead)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        collector = type(self.collector).__name__ if self.collector else None
+        return (
+            f"VM(clock={self.clock.now_ms:.1f} ms, ops={self.ops_completed}, "
+            f"collector={collector})"
+        )

@@ -1,0 +1,73 @@
+"""CRIU-style incremental process checkpoints.
+
+Models the Checkpoint/Restore-In-Userspace behaviour POLM2 relies on
+(paper §4.2):
+
+* **incremental**: only pages whose kernel dirty bit is set since the last
+  checkpoint are written; the dirty bits are cleared at each checkpoint;
+* **advice-aware**: pages carrying the no-need bit (set via ``madvise`` by
+  the Recorder for pages holding no live objects) are skipped entirely.
+
+The physical image is therefore ``dirty ∧ ¬no-need`` pages; its size and
+write time are what Figures 3/4 compare against ``jmap``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.config import CostModel
+from repro.heap.heap import SimHeap
+from repro.heap.objects import HeapObject
+from repro.snapshot.snapshot import Snapshot
+
+
+class CRIUEngine:
+    """Incremental checkpointer over the simulated heap's page table."""
+
+    name = "criu"
+
+    def __init__(self, costs: CostModel) -> None:
+        self.costs = costs
+        self._seq = 0
+
+    def checkpoint(
+        self,
+        heap: SimHeap,
+        live_objects: Iterable[HeapObject],
+        time_ms: float,
+    ) -> Snapshot:
+        """Create one incremental snapshot.
+
+        Args:
+            heap: the heap to checkpoint (its page table supplies the
+                dirty/no-need bits).
+            live_objects: objects reachable at checkpoint time; their ids
+                become the snapshot's logical content.  The caller (the
+                Recorder) is responsible for having already marked unused
+                pages no-need.
+            time_ms: virtual time of the checkpoint.
+        """
+        pages = heap.page_table.snapshot_candidate_pages()
+        size_bytes = len(pages) * heap.page_size
+        duration_us = (
+            self.costs.criu_fixed_us
+            + self.costs.criu_write_kib_us * (size_bytes / 1024.0)
+        )
+        # CRIU clears the dirty bits so the next checkpoint is a delta.
+        heap.page_table.clear_dirty()
+        self._seq += 1
+        return Snapshot(
+            seq=self._seq,
+            time_ms=time_ms,
+            engine=self.name,
+            pages_written=len(pages),
+            size_bytes=size_bytes,
+            duration_us=duration_us,
+            live_object_ids=frozenset(obj.object_id for obj in live_objects),
+            incremental=self._seq > 1,
+        )
+
+    @property
+    def checkpoints_taken(self) -> int:
+        return self._seq

@@ -1,0 +1,118 @@
+"""Snapshot records and the store that orders them."""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from typing import Dict, FrozenSet, List
+
+
+@dataclasses.dataclass(frozen=True)
+class Snapshot:
+    """One memory snapshot.
+
+    ``live_object_ids`` is the *logical* content: the identity hash codes
+    of every reachable object at dump time, i.e. what the Analyzer sees
+    after reconstructing the process image from the incremental chain and
+    reading each object header (paper §4.3).  ``size_bytes`` and
+    ``duration_us`` are the *physical* cost of producing this snapshot
+    (incremental for CRIU, full for jmap) — the quantities of Figures 3/4.
+    """
+
+    seq: int
+    time_ms: float
+    engine: str
+    pages_written: int
+    size_bytes: int
+    duration_us: float
+    live_object_ids: FrozenSet[int]
+    #: True when the image is a delta over the previous snapshot.
+    incremental: bool = True
+
+    @property
+    def live_count(self) -> int:
+        return len(self.live_object_ids)
+
+    # -- (de)serialization: snapshots are on-disk artifacts in the paper's
+    # -- workflow (CRIU image directories the Analyzer reads later).
+
+    def to_dict(self) -> Dict:
+        return {
+            "seq": self.seq,
+            "time_ms": self.time_ms,
+            "engine": self.engine,
+            "pages_written": self.pages_written,
+            "size_bytes": self.size_bytes,
+            "duration_us": self.duration_us,
+            "live_object_ids": sorted(self.live_object_ids),
+            "incremental": self.incremental,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict) -> "Snapshot":
+        return cls(
+            seq=int(payload["seq"]),
+            time_ms=float(payload["time_ms"]),
+            engine=payload["engine"],
+            pages_written=int(payload["pages_written"]),
+            size_bytes=int(payload["size_bytes"]),
+            duration_us=float(payload["duration_us"]),
+            live_object_ids=frozenset(payload["live_object_ids"]),
+            incremental=bool(payload.get("incremental", True)),
+        )
+
+
+class SnapshotStore:
+    """Time-ordered snapshot sequence for one profiling run."""
+
+    def __init__(self) -> None:
+        self._snapshots: List[Snapshot] = []
+
+    def append(self, snapshot: Snapshot) -> None:
+        if self._snapshots and snapshot.time_ms < self._snapshots[-1].time_ms:
+            raise ValueError("snapshots must be appended in time order")
+        self._snapshots.append(snapshot)
+
+    @property
+    def snapshots(self) -> List[Snapshot]:
+        return list(self._snapshots)
+
+    def __len__(self) -> int:
+        return len(self._snapshots)
+
+    def __iter__(self):
+        return iter(self._snapshots)
+
+    def __getitem__(self, index: int) -> Snapshot:
+        return self._snapshots[index]
+
+    # -- aggregate views (Figures 3/4) -------------------------------------------
+
+    def sizes_bytes(self) -> List[int]:
+        return [s.size_bytes for s in self._snapshots]
+
+    def durations_us(self) -> List[float]:
+        return [s.duration_us for s in self._snapshots]
+
+    def total_bytes(self) -> int:
+        return sum(s.size_bytes for s in self._snapshots)
+
+    def total_duration_us(self) -> float:
+        return sum(s.duration_us for s in self._snapshots)
+
+    # -- persistence (JSON lines, one snapshot per line) ---------------------------
+
+    def save(self, path: str) -> None:
+        with open(path, "w") as handle:
+            for snapshot in self._snapshots:
+                handle.write(json.dumps(snapshot.to_dict()) + "\n")
+
+    @classmethod
+    def load(cls, path: str) -> "SnapshotStore":
+        store = cls()
+        with open(path) as handle:
+            for line in handle:
+                line = line.strip()
+                if line:
+                    store.append(Snapshot.from_dict(json.loads(line)))
+        return store

@@ -1,0 +1,57 @@
+"""Big-data platform workloads (the paper's evaluation subjects, §5.2).
+
+Six workload configurations over three mini-platforms, mirroring the
+paper: Cassandra (write-intensive / write-read / read-intensive YCSB
+mixes), Lucene (write-heavy text indexing with top-word queries), and
+GraphChi (PageRank and Connected Components over a power-law graph).
+"""
+
+from typing import Callable, Dict
+
+from repro.errors import UnknownWorkloadError
+from repro.workloads.base import ManualNG2CStrategy, Workload
+
+__all__ = [
+    "ManualNG2CStrategy",
+    "WORKLOAD_NAMES",
+    "Workload",
+    "make_workload",
+]
+
+
+def _registry() -> Dict[str, Callable[..., Workload]]:
+    # Imported lazily so `repro.workloads.base` stays import-cycle-free.
+    from repro.workloads.cassandra.workload import CassandraWorkload
+    from repro.workloads.graphchi.workload import GraphChiWorkload
+    from repro.workloads.lucene.workload import LuceneWorkload
+
+    return {
+        "cassandra-wi": lambda **kw: CassandraWorkload(mix="wi", **kw),
+        "cassandra-wr": lambda **kw: CassandraWorkload(mix="wr", **kw),
+        "cassandra-ri": lambda **kw: CassandraWorkload(mix="ri", **kw),
+        "lucene": lambda **kw: LuceneWorkload(**kw),
+        "graphchi-cc": lambda **kw: GraphChiWorkload(algorithm="cc", **kw),
+        "graphchi-pr": lambda **kw: GraphChiWorkload(algorithm="pr", **kw),
+    }
+
+
+WORKLOAD_NAMES = (
+    "cassandra-wi",
+    "cassandra-wr",
+    "cassandra-ri",
+    "lucene",
+    "graphchi-cc",
+    "graphchi-pr",
+)
+
+
+def make_workload(name: str, **kwargs) -> Workload:
+    """Instantiate a workload by its paper name (e.g. ``cassandra-wi``)."""
+    registry = _registry()
+    try:
+        factory = registry[name]
+    except KeyError:
+        raise UnknownWorkloadError(
+            f"unknown workload {name!r}; choose from {sorted(registry)}"
+        ) from None
+    return factory(**kwargs)

@@ -1,0 +1,22 @@
+"""A miniature Cassandra: log-structured KV store under YCSB-style load.
+
+Reproduces the object-lifetime structure that makes the real Cassandra a
+hard case for G1 (paper §5.2.1):
+
+* **memtable rows** and **commit-log records** are middle-lived: they
+  accumulate for the whole flush period — long enough for G1 to promote
+  them en masse — and then die *together* at flush;
+* **SSTable in-memory structures** (index entries, bloom-filter pages,
+  metadata) and **row/key-cache entries** are long-lived, dying only at
+  compaction or eviction;
+* the **read path** (commands, iterators, response clones) dies young.
+
+Shared helpers (``Util.cloneRow``, ``ByteBufferUtil.allocate``) are called
+from paths with very different lifetimes — the allocation-site conflicts
+POLM2's STTree exists to resolve.
+"""
+
+from repro.workloads.cassandra.store import CassandraStore
+from repro.workloads.cassandra.workload import CassandraWorkload
+
+__all__ = ["CassandraStore", "CassandraWorkload"]

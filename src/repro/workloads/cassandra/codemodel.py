@@ -1,0 +1,157 @@
+"""The Cassandra code model: classes, methods, allocation and call sites.
+
+Line numbers are stable identifiers shared between the declared model and
+the executing store code — the simulated analogue of real source lines.
+The model is designed to carry the lifetime structure of the paper's
+Table 1 row for Cassandra: eleven candidate middle/long-lived allocation
+sites and two allocation-site conflicts (``Util.cloneRow`` and
+``ByteBufferUtil.allocate``, each reached from paths with different
+lifetimes).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.runtime.code import ClassModel
+
+# -- class / method names -------------------------------------------------------
+
+STORAGE_PROXY = "org.apache.cassandra.service.StorageProxy"
+MEMTABLE = "org.apache.cassandra.db.Memtable"
+COMMIT_LOG = "org.apache.cassandra.db.commitlog.CommitLog"
+SSTABLE_WRITER = "org.apache.cassandra.io.sstable.SSTableWriter"
+READ_EXECUTOR = "org.apache.cassandra.service.ReadExecutor"
+ROW_CACHE = "org.apache.cassandra.cache.RowCache"
+KEY_CACHE = "org.apache.cassandra.cache.KeyCache"
+UTIL = "org.apache.cassandra.utils.Util"
+BYTE_BUFFER_UTIL = "org.apache.cassandra.utils.ByteBufferUtil"
+
+# -- line numbers (site identifiers) -----------------------------------------------
+
+# StorageProxy.process
+L_PROCESS_CALL_MUTATE = 10
+L_PROCESS_CALL_READ = 12
+# StorageProxy.mutate
+L_MUTATE_CALL_MEMTABLE_PUT = 21
+L_MUTATE_CALL_COMMITLOG = 24
+L_MUTATE_CALL_MAYBE_FLUSH = 28
+# Memtable.put
+L_PUT_ALLOC_ROW = 30
+L_PUT_ALLOC_CELLS = 31
+L_PUT_ALLOC_INDEX_ENTRY = 32
+L_PUT_CALL_CLONE = 26
+# Memtable.maybeFlush
+L_MAYBE_FLUSH_CALL_FLUSH = 35
+# CommitLog.append
+L_APPEND_ALLOC_RECORD = 40
+L_APPEND_CALL_BUFFER = 44
+# SSTableWriter.flush
+L_FLUSH_ALLOC_INDEX = 100
+L_FLUSH_ALLOC_BLOOM = 101
+L_FLUSH_ALLOC_META = 102
+# ReadExecutor.execute
+L_READ_ALLOC_COMMAND = 60
+L_READ_ALLOC_ITERATOR = 61
+L_READ_CALL_CLONE = 63
+L_READ_CALL_BUFFER = 65
+L_READ_CALL_ROW_CACHE = 67
+L_READ_CALL_KEY_CACHE = 68
+# RowCache.cacheRow
+L_CACHE_ALLOC_ENTRY = 70
+L_CACHE_CALL_CLONE = 72
+# KeyCache.put
+L_KEY_CACHE_ALLOC_ENTRY = 75
+# Util.cloneRow (conflict site #1)
+L_CLONE_ALLOC = 80
+# ByteBufferUtil.allocate (conflict site #2)
+L_BUFFER_ALLOC = 90
+
+# -- object sizes in bytes ------------------------------------------------------------
+
+SIZE_ROW = 320
+SIZE_CELLS = 160
+SIZE_ROW_INDEX_ENTRY = 48
+SIZE_LOG_RECORD = 96
+SIZE_LOG_BUFFER = 128
+SIZE_CLONE = 320
+SIZE_SSTABLE_INDEX_ENTRY = 56
+SIZE_BLOOM_PAGE = 4096
+SIZE_SSTABLE_META = 512
+SIZE_READ_COMMAND = 96
+SIZE_ROW_ITERATOR = 80
+SIZE_RESPONSE_BUFFER = 192
+SIZE_CACHE_ENTRY = 64
+SIZE_KEY_CACHE_ENTRY = 48
+
+
+def build_class_models() -> List[ClassModel]:
+    """Declare every Cassandra class the workload executes."""
+    proxy = ClassModel(STORAGE_PROXY)
+    process = proxy.add_method("process")
+    process.add_call_site(L_PROCESS_CALL_MUTATE, STORAGE_PROXY, "mutate")
+    process.add_call_site(L_PROCESS_CALL_READ, READ_EXECUTOR, "execute")
+    mutate = proxy.add_method("mutate")
+    mutate.add_call_site(L_MUTATE_CALL_MEMTABLE_PUT, MEMTABLE, "put")
+    mutate.add_call_site(L_MUTATE_CALL_COMMITLOG, COMMIT_LOG, "append")
+    mutate.add_call_site(L_MUTATE_CALL_MAYBE_FLUSH, MEMTABLE, "maybeFlush")
+
+    memtable = ClassModel(MEMTABLE)
+    put = memtable.add_method("put")
+    put.add_alloc_site(L_PUT_ALLOC_ROW, "Row", SIZE_ROW)
+    put.add_alloc_site(L_PUT_ALLOC_CELLS, "Cell[]", SIZE_CELLS)
+    put.add_alloc_site(L_PUT_ALLOC_INDEX_ENTRY, "RowIndexEntry", SIZE_ROW_INDEX_ENTRY)
+    put.add_call_site(L_PUT_CALL_CLONE, UTIL, "cloneRow")
+    maybe_flush = memtable.add_method("maybeFlush")
+    maybe_flush.add_call_site(L_MAYBE_FLUSH_CALL_FLUSH, SSTABLE_WRITER, "flush")
+
+    commitlog = ClassModel(COMMIT_LOG)
+    append = commitlog.add_method("append")
+    append.add_alloc_site(L_APPEND_ALLOC_RECORD, "LogRecord", SIZE_LOG_RECORD)
+    append.add_call_site(L_APPEND_CALL_BUFFER, BYTE_BUFFER_UTIL, "allocate")
+
+    writer = ClassModel(SSTABLE_WRITER)
+    flush = writer.add_method("flush")
+    flush.add_alloc_site(L_FLUSH_ALLOC_INDEX, "IndexEntry", SIZE_SSTABLE_INDEX_ENTRY)
+    flush.add_alloc_site(L_FLUSH_ALLOC_BLOOM, "BloomPage", SIZE_BLOOM_PAGE)
+    flush.add_alloc_site(L_FLUSH_ALLOC_META, "SSTableMetadata", SIZE_SSTABLE_META)
+
+    reader = ClassModel(READ_EXECUTOR)
+    execute = reader.add_method("execute")
+    execute.add_alloc_site(L_READ_ALLOC_COMMAND, "ReadCommand", SIZE_READ_COMMAND)
+    execute.add_alloc_site(L_READ_ALLOC_ITERATOR, "RowIterator", SIZE_ROW_ITERATOR)
+    execute.add_call_site(L_READ_CALL_CLONE, UTIL, "cloneRow")
+    execute.add_call_site(L_READ_CALL_BUFFER, BYTE_BUFFER_UTIL, "allocate")
+    execute.add_call_site(L_READ_CALL_ROW_CACHE, ROW_CACHE, "cacheRow")
+    execute.add_call_site(L_READ_CALL_KEY_CACHE, KEY_CACHE, "put")
+
+    row_cache = ClassModel(ROW_CACHE)
+    cache_row = row_cache.add_method("cacheRow")
+    cache_row.add_alloc_site(L_CACHE_ALLOC_ENTRY, "CacheEntry", SIZE_CACHE_ENTRY)
+    cache_row.add_call_site(L_CACHE_CALL_CLONE, UTIL, "cloneRow")
+
+    key_cache = ClassModel(KEY_CACHE)
+    kc_put = key_cache.add_method("put")
+    kc_put.add_alloc_site(
+        L_KEY_CACHE_ALLOC_ENTRY, "KeyCacheEntry", SIZE_KEY_CACHE_ENTRY
+    )
+
+    util = ClassModel(UTIL)
+    clone = util.add_method("cloneRow")
+    clone.add_alloc_site(L_CLONE_ALLOC, "Row", SIZE_CLONE)
+
+    buffer_util = ClassModel(BYTE_BUFFER_UTIL)
+    allocate = buffer_util.add_method("allocate")
+    allocate.add_alloc_site(L_BUFFER_ALLOC, "ByteBuffer", SIZE_LOG_BUFFER)
+
+    return [
+        proxy,
+        memtable,
+        commitlog,
+        writer,
+        reader,
+        row_cache,
+        key_cache,
+        util,
+        buffer_util,
+    ]

@@ -1,0 +1,233 @@
+"""The executing Cassandra store: write path, read path, flush, caches.
+
+Every allocation goes through the declared code model
+(:mod:`repro.workloads.cassandra.codemodel`), so agent-rewritten classes
+change its behaviour exactly as rewritten bytecode would: the Recorder
+sees every ``new``, and the Instrumenter's ``@Gen`` / ``setGeneration``
+directives steer where rows, log records, cache entries, and SSTable
+structures land in the heap.
+"""
+
+from __future__ import annotations
+
+import collections
+import dataclasses
+import random
+from typing import Deque, List, Optional, Tuple
+
+from repro.heap.objects import HeapObject
+from repro.runtime.thread import SimThread
+from repro.runtime.vm import VM
+from repro.workloads.cassandra import codemodel as cm
+from repro.workloads.ycsb import ZipfianGenerator
+
+
+@dataclasses.dataclass
+class CassandraParams:
+    """Sizing knobs, scaled with the 64 MiB default heap."""
+
+    flush_threshold_bytes: int = 10 * 1024 * 1024
+    row_cache_capacity_bytes: int = 14 * 1024 * 1024
+    key_cache_capacity_bytes: int = 2 * 1024 * 1024
+    max_sstables: int = 12
+    key_space: int = 200_000
+    #: Probability that a cache-missing read populates the row cache.
+    cache_fill_probability: float = 0.35
+    #: YCSB zipfian request-distribution constant (YCSB default).
+    zipf_theta: float = 0.99
+    #: Rows summarized per SSTable index entry.
+    rows_per_index_entry: int = 8
+    #: Rows covered per bloom-filter page.
+    rows_per_bloom_page: int = 1024
+
+
+class CassandraStore:
+    """In-memory state of the mini Cassandra node."""
+
+    def __init__(
+        self, vm: VM, thread: SimThread, params: CassandraParams, seed: int
+    ) -> None:
+        self.vm = vm
+        self.thread = thread
+        self.params = params
+        self.rng = random.Random(seed)
+        heap = vm.heap
+        # Holder objects: permanent anchors for each lifetime population.
+        self.store_root = vm.allocate_anonymous(64)
+        vm.roots.pin("cassandra.store", self.store_root)
+        self.memtable_obj = self._new_holder()
+        self.commitlog_obj = self._new_holder()
+        self.sstables_obj = self._new_holder()
+        self.rowcache_obj = self._new_holder()
+        self.keycache_obj = self._new_holder()
+        # Python-side bookkeeping.
+        self.memtable_bytes = 0
+        self.memtable_rows = 0
+        self.flush_count = 0
+        self.sstables: Deque[HeapObject] = collections.deque()
+        self.row_cache: Deque[Tuple[HeapObject, int]] = collections.deque()
+        self.row_cache_bytes = 0
+        self.row_cache_keys: set = set()
+        self.key_cache: Deque[HeapObject] = collections.deque()
+        self.key_cache_bytes = 0
+        #: Fired at each flush (generation rotation for manual NG2C).
+        self.flush_listeners: List = []
+        self._key_generator = ZipfianGenerator(
+            params.key_space, theta=params.zipf_theta, seed=seed ^ 0xCA55
+        )
+
+    def _new_holder(self) -> HeapObject:
+        holder = self.vm.allocate_anonymous(64)
+        self.vm.heap.write_ref(self.store_root, holder)
+        return holder
+
+    def _replace_holder(self, old: HeapObject) -> HeapObject:
+        self.vm.heap.remove_ref(self.store_root, old)
+        return self._new_holder()
+
+    # -- key distribution ---------------------------------------------------------
+
+    def sample_key(self) -> int:
+        """One YCSB-zipfian key (the benchmark the paper drives with)."""
+        return min(self._key_generator.next(), self.params.key_space - 1)
+
+    # -- write path -------------------------------------------------------------------
+
+    def write(self, thread: Optional[SimThread] = None) -> None:
+        """One mutation, executed under the StorageProxy.process frame.
+
+        ``thread`` selects the mutation-stage thread doing the work
+        (defaults to the store's primary thread); pretenuring state is
+        thread-local, exactly as NG2C's ``setGeneration`` is.
+        """
+        thread = thread or self.thread
+        heap = self.vm.heap
+        with thread.call(cm.L_PROCESS_CALL_MUTATE, cm.STORAGE_PROXY, "mutate"):
+            with thread.call(cm.L_MUTATE_CALL_MEMTABLE_PUT, cm.MEMTABLE, "put"):
+                row = thread.alloc(cm.L_PUT_ALLOC_ROW)
+                cells = thread.alloc(cm.L_PUT_ALLOC_CELLS)
+                index_entry = thread.alloc(cm.L_PUT_ALLOC_INDEX_ENTRY)
+                heap.write_ref(row, cells)
+                heap.write_ref(row, index_entry)
+                # Secondary-index clone: stored in the memtable, dies at
+                # flush — the middle-lived path through Util.cloneRow.
+                with thread.call(cm.L_PUT_CALL_CLONE, cm.UTIL, "cloneRow"):
+                    index_clone = thread.alloc(cm.L_CLONE_ALLOC)
+                heap.write_ref(self.memtable_obj, row)
+                heap.write_ref(self.memtable_obj, index_clone)
+                self.memtable_bytes += (
+                    row.size + cells.size + index_entry.size + index_clone.size
+                )
+                self.memtable_rows += 1
+            with thread.call(cm.L_MUTATE_CALL_COMMITLOG, cm.COMMIT_LOG, "append"):
+                record = thread.alloc(cm.L_APPEND_ALLOC_RECORD)
+                with thread.call(
+                    cm.L_APPEND_CALL_BUFFER, cm.BYTE_BUFFER_UTIL, "allocate"
+                ):
+                    buffer = thread.alloc(cm.L_BUFFER_ALLOC)
+                heap.write_ref(record, buffer)
+                heap.write_ref(self.commitlog_obj, record)
+                self.memtable_bytes += record.size + buffer.size
+            if self.memtable_bytes >= self.params.flush_threshold_bytes:
+                with thread.call(
+                    cm.L_MUTATE_CALL_MAYBE_FLUSH, cm.MEMTABLE, "maybeFlush"
+                ):
+                    with thread.call(
+                        cm.L_MAYBE_FLUSH_CALL_FLUSH, cm.SSTABLE_WRITER, "flush"
+                    ):
+                        self._flush(thread)
+
+    def _flush(self, thread: Optional[SimThread] = None) -> None:
+        """Flush the memtable: build SSTable structures, drop the old data.
+
+        Executed under the SSTableWriter.flush frame, so index entries,
+        bloom pages, and metadata allocate at their declared (long-lived)
+        sites.
+        """
+        thread = thread or self.thread
+        heap = self.vm.heap
+        sstable = self.vm.allocate_anonymous(64)
+        index_entries = max(1, self.memtable_rows // self.params.rows_per_index_entry)
+        bloom_pages = max(1, self.memtable_rows // self.params.rows_per_bloom_page)
+        for _ in range(index_entries):
+            entry = thread.alloc(cm.L_FLUSH_ALLOC_INDEX, keep=False)
+            heap.write_ref(sstable, entry)
+        for _ in range(bloom_pages):
+            page = thread.alloc(cm.L_FLUSH_ALLOC_BLOOM, keep=False)
+            heap.write_ref(sstable, page)
+        meta = thread.alloc(cm.L_FLUSH_ALLOC_META, keep=False)
+        heap.write_ref(sstable, meta)
+        heap.write_ref(self.sstables_obj, sstable)
+        self.sstables.append(sstable)
+        # Size-tiered compaction stand-in: cap retained SSTables.
+        while len(self.sstables) > self.params.max_sstables:
+            oldest = self.sstables.popleft()
+            heap.remove_ref(self.sstables_obj, oldest)
+        # The flushed memtable and its commit-log segment become garbage.
+        self.memtable_obj = self._replace_holder(self.memtable_obj)
+        self.commitlog_obj = self._replace_holder(self.commitlog_obj)
+        self.memtable_bytes = 0
+        self.memtable_rows = 0
+        self.flush_count += 1
+        for listener in self.flush_listeners:
+            listener()
+
+    # -- read path ----------------------------------------------------------------------
+
+    def read(self, thread: Optional[SimThread] = None) -> None:
+        """One read, executed under the StorageProxy.process frame."""
+        thread = thread or self.thread
+        key = self.sample_key()
+        with thread.call(cm.L_PROCESS_CALL_READ, cm.READ_EXECUTOR, "execute"):
+            thread.alloc(cm.L_READ_ALLOC_COMMAND)
+            thread.alloc(cm.L_READ_ALLOC_ITERATOR)
+            cache_hit = key in self.row_cache_keys
+            if not cache_hit and (
+                self.rng.random() < self.params.cache_fill_probability
+            ):
+                with thread.call(
+                    cm.L_READ_CALL_ROW_CACHE, cm.ROW_CACHE, "cacheRow"
+                ):
+                    self._cache_row(key, thread)
+                with thread.call(cm.L_READ_CALL_KEY_CACHE, cm.KEY_CACHE, "put"):
+                    self._cache_key(thread)
+            # Response materialization: a row clone plus a network buffer,
+            # both dead as soon as the request completes — the young paths
+            # through the two shared (conflicting) helpers.
+            with thread.call(cm.L_READ_CALL_CLONE, cm.UTIL, "cloneRow"):
+                thread.alloc(cm.L_CLONE_ALLOC)
+            with thread.call(
+                cm.L_READ_CALL_BUFFER, cm.BYTE_BUFFER_UTIL, "allocate"
+            ):
+                thread.alloc(cm.L_BUFFER_ALLOC)
+
+    def _cache_row(self, key: int, thread: Optional[SimThread] = None) -> None:
+        """Populate the row cache (long-lived path through cloneRow)."""
+        thread = thread or self.thread
+        heap = self.vm.heap
+        entry = thread.alloc(cm.L_CACHE_ALLOC_ENTRY)
+        with thread.call(cm.L_CACHE_CALL_CLONE, cm.UTIL, "cloneRow"):
+            cached_row = thread.alloc(cm.L_CLONE_ALLOC)
+        heap.write_ref(entry, cached_row)
+        heap.write_ref(self.rowcache_obj, entry)
+        entry_bytes = entry.size + cached_row.size
+        self.row_cache.append((entry, key, entry_bytes))
+        self.row_cache_keys.add(key)
+        self.row_cache_bytes += entry_bytes
+        while self.row_cache_bytes > self.params.row_cache_capacity_bytes:
+            victim, victim_key, victim_bytes = self.row_cache.popleft()
+            heap.remove_ref(self.rowcache_obj, victim)
+            self.row_cache_keys.discard(victim_key)
+            self.row_cache_bytes -= victim_bytes
+
+    def _cache_key(self, thread: Optional[SimThread] = None) -> None:
+        thread = thread or self.thread
+        heap = self.vm.heap
+        entry = thread.alloc(cm.L_KEY_CACHE_ALLOC_ENTRY)
+        heap.write_ref(self.keycache_obj, entry)
+        self.key_cache.append(entry)
+        self.key_cache_bytes += entry.size
+        while self.key_cache_bytes > self.params.key_cache_capacity_bytes:
+            victim = self.key_cache.popleft()
+            heap.remove_ref(self.keycache_obj, victim)
+            self.key_cache_bytes -= victim.size

@@ -1,0 +1,162 @@
+"""Cassandra workload driver: YCSB-style mixes + the manual NG2C baseline.
+
+The three mixes mirror §5.2.1 (rates in queries/second on the paper's
+testbed; here only the read:write *ratio* matters):
+
+* ``wi`` — write-intensive, 7500 writes / 2500 reads;
+* ``wr`` — write-read,      5000 writes / 5000 reads;
+* ``ri`` — read-intensive,  2500 writes / 7500 reads.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+from repro.core.profile import AllocDirective, CallDirective
+from repro.errors import WorkloadError
+from repro.runtime.code import ClassModel
+from repro.runtime.vm import VM
+from repro.workloads.base import ManualNG2CStrategy, Workload
+from repro.workloads.cassandra import codemodel as cm
+from repro.workloads.cassandra.codemodel import build_class_models
+from repro.workloads.cassandra.store import CassandraParams, CassandraStore
+
+#: Write fraction per mix (paper §5.2.1).
+MIX_WRITE_FRACTION = {"wi": 0.75, "wr": 0.50, "ri": 0.25}
+
+#: Generation indexes the hand annotations use: 1 rotates with the
+#: memtable (one generation per flush, as the paper describes), 2 holds
+#: long-lived structures (SSTable indexes, caches).
+MANUAL_MEMTABLE_GEN = 1
+MANUAL_LONGLIVED_GEN = 2
+
+
+class CassandraWorkload(Workload):
+    """One Cassandra node under a YCSB-style zipfian mix."""
+
+    def __init__(
+        self,
+        mix: str = "wi",
+        seed: int = 42,
+        params: Optional[CassandraParams] = None,
+        ops_per_tick: int = 64,
+        thread_count: int = 2,
+    ) -> None:
+        super().__init__()
+        if mix not in MIX_WRITE_FRACTION:
+            raise WorkloadError(f"unknown Cassandra mix {mix!r}")
+        if thread_count < 1:
+            raise WorkloadError("thread_count must be >= 1")
+        self.mix = mix
+        self.name = f"cassandra-{mix}"
+        self.seed = seed
+        self.params = params or CassandraParams()
+        self.ops_per_tick = ops_per_tick
+        self.thread_count = thread_count
+        self.write_fraction = MIX_WRITE_FRACTION[mix]
+        self.rng = random.Random(seed)
+        self.vm: Optional[VM] = None
+        self.store: Optional[CassandraStore] = None
+        self.threads: List = []
+
+    # -- Workload interface ---------------------------------------------------------
+
+    def class_models(self) -> List[ClassModel]:
+        return build_class_models()
+
+    def setup(self, vm: VM) -> None:
+        self.vm = vm
+        self.threads = [
+            vm.new_thread(f"MutationStage-{i + 1}")
+            for i in range(self.thread_count)
+        ]
+        self.store = CassandraStore(vm, self.threads[0], self.params, self.seed)
+        self.store.flush_listeners.append(self.fire_flush_hooks)
+
+    def tick(self) -> int:
+        if self.vm is None or self.store is None:
+            raise WorkloadError("setup() must run before tick()")
+        store = self.store
+        vm = self.vm
+        ops = 0
+        per_thread = max(1, self.ops_per_tick // len(self.threads))
+        for thread in self.threads:
+            with thread.entry(cm.STORAGE_PROXY, "process"):
+                for _ in range(per_thread):
+                    if self.rng.random() < self.write_fraction:
+                        store.write(thread)
+                    else:
+                        store.read(thread)
+                    vm.tick_op()
+                    ops += 1
+        return ops
+
+    def teardown(self) -> None:
+        self.store = None
+        self.vm = None
+
+    # -- manual NG2C baseline (§5.4.1) --------------------------------------------------
+
+    def manual_ng2c(self) -> ManualNG2CStrategy:
+        """The hand annotations an experienced developer wrote.
+
+        Both shared-helper conflicts are recognized and resolved by
+        setting the target generation at distinguishing call sites — but
+        one placement is wrong: the response-row clone on the read path
+        (``ReadExecutor.execute`` line 63) is directed into the rotating
+        memtable generation, pretenuring per-request garbage.  The paper
+        observed exactly this class of mistake and reports that it costs
+        manual NG2C its lead on the read-intensive mix, where the read
+        path dominates (§5.4.1: "misplaced manual code changes").
+        """
+        gen_mem = MANUAL_MEMTABLE_GEN
+        gen_long = MANUAL_LONGLIVED_GEN
+        alloc = [
+            AllocDirective(cm.MEMTABLE, "put", cm.L_PUT_ALLOC_ROW),
+            AllocDirective(cm.MEMTABLE, "put", cm.L_PUT_ALLOC_CELLS),
+            AllocDirective(cm.MEMTABLE, "put", cm.L_PUT_ALLOC_INDEX_ENTRY),
+            AllocDirective(cm.COMMIT_LOG, "append", cm.L_APPEND_ALLOC_RECORD),
+            AllocDirective(cm.SSTABLE_WRITER, "flush", cm.L_FLUSH_ALLOC_INDEX),
+            AllocDirective(cm.SSTABLE_WRITER, "flush", cm.L_FLUSH_ALLOC_BLOOM),
+            AllocDirective(cm.SSTABLE_WRITER, "flush", cm.L_FLUSH_ALLOC_META),
+            AllocDirective(cm.ROW_CACHE, "cacheRow", cm.L_CACHE_ALLOC_ENTRY),
+            AllocDirective(cm.KEY_CACHE, "put", cm.L_KEY_CACHE_ALLOC_ENTRY),
+            AllocDirective(cm.UTIL, "cloneRow", cm.L_CLONE_ALLOC),
+            AllocDirective(cm.BYTE_BUFFER_UTIL, "allocate", cm.L_BUFFER_ALLOC),
+        ]
+        calls = [
+            # Memtable generation: rows, log records, their helper allocs.
+            CallDirective(
+                cm.STORAGE_PROXY, "mutate", cm.L_MUTATE_CALL_MEMTABLE_PUT, gen_mem
+            ),
+            CallDirective(
+                cm.STORAGE_PROXY, "mutate", cm.L_MUTATE_CALL_COMMITLOG, gen_mem
+            ),
+            # Long-lived generation: SSTable structures and both caches.
+            CallDirective(
+                cm.MEMTABLE, "maybeFlush", cm.L_MAYBE_FLUSH_CALL_FLUSH, gen_long
+            ),
+            CallDirective(
+                cm.READ_EXECUTOR, "execute", cm.L_READ_CALL_ROW_CACHE, gen_long
+            ),
+            CallDirective(
+                cm.READ_EXECUTOR, "execute", cm.L_READ_CALL_KEY_CACHE, gen_long
+            ),
+            # THE PLANTED MISTAKE: response clones are per-request garbage,
+            # but the developer pretenured them with the memtable rows.
+            CallDirective(
+                cm.READ_EXECUTOR, "execute", cm.L_READ_CALL_CLONE, gen_mem
+            ),
+        ]
+        return ManualNG2CStrategy(
+            alloc_directives=alloc,
+            call_directives=calls,
+            rotate_generation_on_flush=True,
+            rotating_index=gen_mem,
+            conflicts_handled=2,
+            notes=(
+                "Hand annotations per NG2C's Cassandra case study; one "
+                "misplaced setGeneration on the read path (paper §5.4.1)."
+            ),
+        )

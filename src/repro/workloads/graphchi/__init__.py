@@ -1,0 +1,16 @@
+"""A miniature GraphChi: batch-iterative graph computation (paper §5.2.3).
+
+GraphChi loads vertices and their edges in batches sized by a memory
+budget, processes the batch (PageRank or Connected Components), drops it,
+and loads the next.  GC-wise this is the second lifetime archetype the
+paper studies: a batch's vertex/edge blocks live for exactly one
+iteration — far too long for the weak generational hypothesis, exactly
+right for a dedicated generation — while the vertex-value arrays live for
+the whole computation.
+"""
+
+from repro.workloads.graphchi.engine import GraphEngine
+from repro.workloads.graphchi.graph import PowerLawGraph
+from repro.workloads.graphchi.workload import GraphChiWorkload
+
+__all__ = ["GraphChiWorkload", "GraphEngine", "PowerLawGraph"]

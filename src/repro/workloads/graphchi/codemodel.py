@@ -1,0 +1,102 @@
+"""GraphChi code model: batch loading, vertex programs, shared buffer pool.
+
+Nine candidate middle/long-lived allocation sites (the paper's Table 1
+reports 9/9 instrumented for both GraphChi workloads) and one shared
+helper (``BufferPool.allocate``) reached from both the batch loader
+(middle-lived) and the vertex program (young) — the single conflict the
+paper reports for GraphChi.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.runtime.code import ClassModel
+
+ENGINE = "edu.cmu.graphchi.engine.GraphChiEngine"
+SHARD = "edu.cmu.graphchi.shards.MemoryShard"
+VERTEX_DATA = "edu.cmu.graphchi.datablocks.VertexData"
+PAGERANK = "edu.cmu.graphchi.apps.Pagerank"
+CONNECTED_COMPONENTS = "edu.cmu.graphchi.apps.ConnectedComponents"
+BUFFER_POOL = "edu.cmu.graphchi.util.BufferPool"
+
+# GraphChiEngine.run
+L_RUN_CALL_INIT = 10
+L_RUN_CALL_LOAD = 12
+L_RUN_CALL_UPDATE_PR = 14
+L_RUN_CALL_UPDATE_CC = 15
+# VertexData.init (long-lived, allocated once)
+L_INIT_ALLOC_VALUES = 20
+L_INIT_ALLOC_PARTITIONS = 21
+# MemoryShard.loadBatch (middle-lived, one batch)
+L_LOAD_ALLOC_VERTEX_BLOCK = 30
+L_LOAD_ALLOC_VERTEX_INDEX = 31
+L_LOAD_ALLOC_DEGREE_BLOCK = 32
+L_LOAD_ALLOC_IN_EDGES = 33
+L_LOAD_ALLOC_OUT_EDGES = 34
+L_LOAD_ALLOC_EDGE_DATA = 35
+L_LOAD_CALL_BUFFER = 37
+# Vertex programs (young scratch)
+L_UPDATE_ALLOC_MESSAGES = 50
+L_UPDATE_ALLOC_SCRATCH = 51
+L_UPDATE_CALL_BUFFER = 53
+# BufferPool.allocate (conflict site)
+L_POOL_ALLOC = 60
+
+# Block sizes (bytes).
+SIZE_VERTEX_BLOCK = 32 * 1024
+SIZE_VERTEX_INDEX = 16 * 1024
+SIZE_DEGREE_BLOCK = 16 * 1024
+SIZE_EDGE_BLOCK = 32 * 1024
+SIZE_EDGE_DATA = 32 * 1024
+# Chunked so each array chunk fits a heap region (no humongous objects).
+SIZE_VALUE_CHUNK = 32 * 1024
+SIZE_PARTITION_TABLE = 48 * 1024
+SIZE_MESSAGE_BUFFER = 4096
+SIZE_SCRATCH = 2048
+SIZE_POOL_BUFFER = 4 * 1024
+
+
+def build_class_models() -> List[ClassModel]:
+    engine = ClassModel(ENGINE)
+    run = engine.add_method("run")
+    run.add_call_site(L_RUN_CALL_INIT, VERTEX_DATA, "init")
+    run.add_call_site(L_RUN_CALL_LOAD, SHARD, "loadBatch")
+    run.add_call_site(L_RUN_CALL_UPDATE_PR, PAGERANK, "update")
+    run.add_call_site(L_RUN_CALL_UPDATE_CC, CONNECTED_COMPONENTS, "update")
+
+    vertex_data = ClassModel(VERTEX_DATA)
+    init = vertex_data.add_method("init")
+    init.add_alloc_site(L_INIT_ALLOC_VALUES, "float[]", SIZE_VALUE_CHUNK)
+    init.add_alloc_site(
+        L_INIT_ALLOC_PARTITIONS, "PartitionTable", SIZE_PARTITION_TABLE
+    )
+
+    shard = ClassModel(SHARD)
+    load = shard.add_method("loadBatch")
+    load.add_alloc_site(L_LOAD_ALLOC_VERTEX_BLOCK, "VertexBlock", SIZE_VERTEX_BLOCK)
+    load.add_alloc_site(L_LOAD_ALLOC_VERTEX_INDEX, "VertexIndex", SIZE_VERTEX_INDEX)
+    load.add_alloc_site(L_LOAD_ALLOC_DEGREE_BLOCK, "DegreeBlock", SIZE_DEGREE_BLOCK)
+    load.add_alloc_site(L_LOAD_ALLOC_IN_EDGES, "InEdgeBlock", SIZE_EDGE_BLOCK)
+    load.add_alloc_site(L_LOAD_ALLOC_OUT_EDGES, "OutEdgeBlock", SIZE_EDGE_BLOCK)
+    load.add_alloc_site(L_LOAD_ALLOC_EDGE_DATA, "EdgeDataBlock", SIZE_EDGE_DATA)
+    load.add_call_site(L_LOAD_CALL_BUFFER, BUFFER_POOL, "allocate")
+
+    def add_update(model: ClassModel) -> None:
+        update = model.add_method("update")
+        update.add_alloc_site(
+            L_UPDATE_ALLOC_MESSAGES, "MessageBuffer", SIZE_MESSAGE_BUFFER
+        )
+        update.add_alloc_site(L_UPDATE_ALLOC_SCRATCH, "float[]", SIZE_SCRATCH)
+        update.add_call_site(L_UPDATE_CALL_BUFFER, BUFFER_POOL, "allocate")
+
+    pagerank = ClassModel(PAGERANK)
+    add_update(pagerank)
+    components = ClassModel(CONNECTED_COMPONENTS)
+    add_update(components)
+
+    pool = ClassModel(BUFFER_POOL)
+    allocate = pool.add_method("allocate")
+    allocate.add_alloc_site(L_POOL_ALLOC, "byte[]", SIZE_POOL_BUFFER)
+
+    return [engine, vertex_data, shard, pagerank, components, pool]

@@ -1,0 +1,21 @@
+"""A miniature Lucene: in-memory text indexing and search (paper §5.2.2).
+
+The paper indexes a 2012 Wikipedia dump (31 GB, 33 M documents) under a
+write-intensive mix — 20 000 document updates and 5 000 searches per
+second, queries looping over the dump's 500 most frequent words.  The
+GC-relevant structure reproduced here:
+
+* per-document objects (documents, token streams, field data) die young;
+* the RAM indexing buffer (postings, term-hash slots) is short-to-middle
+  lived — flushed to a segment before most GC cycles see it;
+* **segment** structures (postings arrays, term dictionaries) are
+  long-lived, dying only when merges supersede them;
+* two shared helpers (``ByteBlockPool.allocate``, ``BytesRefPool.copy``)
+  are reached from both the indexing/flush paths and the search path —
+  the conflicts POLM2 detects and the manual annotations missed.
+"""
+
+from repro.workloads.lucene.index import InMemoryIndex
+from repro.workloads.lucene.workload import LuceneWorkload
+
+__all__ = ["InMemoryIndex", "LuceneWorkload"]

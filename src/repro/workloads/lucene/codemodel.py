@@ -1,0 +1,110 @@
+"""Lucene code model.
+
+Eight allocation sites a developer would consider for annotation (the
+paper's Table 1 shows NG2C-manual annotated 8, POLM2 chose far fewer) and
+two shared-helper conflict sites.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.runtime.code import ClassModel
+
+INDEX_WRITER = "org.apache.lucene.index.IndexWriter"
+DOCS_WRITER = "org.apache.lucene.index.DocumentsWriter"
+SEGMENT_FLUSHER = "org.apache.lucene.index.SegmentFlusher"
+SEGMENT_MERGER = "org.apache.lucene.index.SegmentMerger"
+SEARCHER = "org.apache.lucene.search.IndexSearcher"
+BYTE_POOL = "org.apache.lucene.util.ByteBlockPool"
+BYTESREF_POOL = "org.apache.lucene.util.BytesRefPool"
+
+# IndexWriter.addDocument
+L_ADD_ALLOC_DOCUMENT = 10
+L_ADD_ALLOC_TOKENS = 11
+L_ADD_ALLOC_FIELDS = 12
+L_ADD_CALL_UPDATE = 15
+# DocumentsWriter.updateDocument
+L_UPDATE_ALLOC_POSTING = 20
+L_UPDATE_ALLOC_TERMSLOT = 21
+L_UPDATE_CALL_BYTES = 23
+L_UPDATE_CALL_FLUSH = 25
+# SegmentFlusher.flush
+L_FLUSH_ALLOC_POSTINGS = 30
+L_FLUSH_ALLOC_TERMDICT = 31
+L_FLUSH_ALLOC_NORMS = 32
+L_FLUSH_CALL_BYTES = 34
+L_FLUSH_CALL_COPY = 33
+# SegmentMerger.merge
+L_MERGE_CALL_FLUSH = 40
+# IndexSearcher.search
+L_SEARCH_ALLOC_QUERY = 50
+L_SEARCH_ALLOC_SCORER = 51
+L_SEARCH_ALLOC_TOPDOCS = 52
+L_SEARCH_CALL_BYTES = 54
+L_SEARCH_CALL_COPY = 55
+# Shared helpers (conflict sites)
+L_BYTE_POOL_ALLOC = 60
+L_BYTESREF_COPY = 70
+
+SIZE_DOCUMENT = 224
+SIZE_TOKENS = 192
+SIZE_FIELDS = 128
+SIZE_POSTING = 96
+SIZE_TERMSLOT = 64
+SIZE_SEGMENT_POSTINGS = 16 * 1024
+SIZE_TERMDICT = 8 * 1024
+SIZE_NORMS = 4 * 1024
+SIZE_QUERY = 96
+SIZE_SCORER = 128
+SIZE_TOPDOCS = 256
+SIZE_BYTE_BLOCK = 512
+SIZE_BYTESREF = 64
+
+
+def build_class_models() -> List[ClassModel]:
+    writer = ClassModel(INDEX_WRITER)
+    add = writer.add_method("addDocument")
+    add.add_alloc_site(L_ADD_ALLOC_DOCUMENT, "Document", SIZE_DOCUMENT)
+    add.add_alloc_site(L_ADD_ALLOC_TOKENS, "TokenStream", SIZE_TOKENS)
+    add.add_alloc_site(L_ADD_ALLOC_FIELDS, "FieldData", SIZE_FIELDS)
+    add.add_call_site(L_ADD_CALL_UPDATE, DOCS_WRITER, "updateDocument")
+
+    docs = ClassModel(DOCS_WRITER)
+    update = docs.add_method("updateDocument")
+    update.add_alloc_site(L_UPDATE_ALLOC_POSTING, "PostingsEntry", SIZE_POSTING)
+    update.add_alloc_site(L_UPDATE_ALLOC_TERMSLOT, "TermHashSlot", SIZE_TERMSLOT)
+    update.add_call_site(L_UPDATE_CALL_BYTES, BYTE_POOL, "allocate")
+    update.add_call_site(L_UPDATE_CALL_FLUSH, SEGMENT_FLUSHER, "flush")
+
+    flusher = ClassModel(SEGMENT_FLUSHER)
+    flush = flusher.add_method("flush")
+    flush.add_alloc_site(
+        L_FLUSH_ALLOC_POSTINGS, "SegmentPostings", SIZE_SEGMENT_POSTINGS
+    )
+    flush.add_alloc_site(L_FLUSH_ALLOC_TERMDICT, "TermDictionary", SIZE_TERMDICT)
+    flush.add_alloc_site(L_FLUSH_ALLOC_NORMS, "NormsArray", SIZE_NORMS)
+    flush.add_call_site(L_FLUSH_CALL_COPY, BYTESREF_POOL, "copy")
+    flush.add_call_site(L_FLUSH_CALL_BYTES, BYTE_POOL, "allocate")
+
+    merger = ClassModel(SEGMENT_MERGER)
+    merge = merger.add_method("merge")
+    merge.add_call_site(L_MERGE_CALL_FLUSH, SEGMENT_FLUSHER, "flush")
+
+    searcher = ClassModel(SEARCHER)
+    search = searcher.add_method("search")
+    search.add_alloc_site(L_SEARCH_ALLOC_QUERY, "TermQuery", SIZE_QUERY)
+    search.add_alloc_site(L_SEARCH_ALLOC_SCORER, "Scorer", SIZE_SCORER)
+    search.add_alloc_site(L_SEARCH_ALLOC_TOPDOCS, "TopDocs", SIZE_TOPDOCS)
+    search.add_call_site(L_SEARCH_CALL_BYTES, BYTE_POOL, "allocate")
+    search.add_call_site(L_SEARCH_CALL_COPY, BYTESREF_POOL, "copy")
+
+    byte_pool = ClassModel(BYTE_POOL)
+    allocate = byte_pool.add_method("allocate")
+    allocate.add_alloc_site(L_BYTE_POOL_ALLOC, "byte[]", SIZE_BYTE_BLOCK)
+
+    bytesref = ClassModel(BYTESREF_POOL)
+    copy = bytesref.add_method("copy")
+    copy.add_alloc_site(L_BYTESREF_COPY, "BytesRef", SIZE_BYTESREF)
+
+    return [writer, docs, flusher, merger, searcher, byte_pool, bytesref]

@@ -1,0 +1,205 @@
+"""The executing in-memory Lucene index: RAM buffer, segments, merges."""
+
+from __future__ import annotations
+
+import collections
+import dataclasses
+import random
+from typing import Deque, List, Tuple
+
+from repro.heap.objects import HeapObject
+from repro.runtime.thread import SimThread
+from repro.runtime.vm import VM
+from repro.workloads.lucene import codemodel as cm
+
+
+@dataclasses.dataclass
+class LuceneParams:
+    """Sizing, scaled with the 64 MiB default heap."""
+
+    #: RAM indexing-buffer flush threshold (Lucene's ramBufferSizeMB).
+    ram_buffer_bytes: int = 1_536 * 1024
+    #: Postings entries created per document.
+    postings_per_doc: int = 3
+    #: Term-hash slots touched per document.
+    slots_per_doc: int = 2
+    #: Byte blocks drawn from the shared pool per document.
+    blocks_per_doc: int = 2
+    #: Fraction of the RAM buffer that survives into the segment.
+    segment_yield: float = 0.6
+    #: Segments triggering a merge.
+    merge_factor: int = 8
+    #: Fraction of merged input surviving the merge.
+    merge_yield: float = 0.85
+    #: Retained segment bytes before the oldest segments are dropped
+    #: (superseded by merged, update-compacted data).
+    max_segment_bytes: int = 20 * 1024 * 1024
+    #: Distinct hot query terms (the paper's top-500-words loop).
+    hot_terms: int = 500
+
+
+class InMemoryIndex:
+    """Mini Lucene index state over the simulated heap."""
+
+    def __init__(
+        self, vm: VM, thread: SimThread, params: LuceneParams, seed: int
+    ) -> None:
+        self.vm = vm
+        self.thread = thread
+        self.params = params
+        self.rng = random.Random(seed)
+        heap = vm.heap
+        self.index_root = vm.allocate_anonymous(64)
+        vm.roots.pin("lucene.index", self.index_root)
+        self.ram_holder = self._new_holder()
+        self.segments_holder = self._new_holder()
+        self.ram_bytes = 0
+        self.docs_in_ram = 0
+        #: (segment holder object, byte size, merged?) in age order.
+        self.segments: Deque[Tuple[HeapObject, int, bool]] = collections.deque()
+        self.segment_bytes_total = 0
+        self.flush_count = 0
+        self.merge_count = 0
+        self.docs_indexed = 0
+        self.searches = 0
+        self.flush_listeners: List = []
+
+    def _new_holder(self) -> HeapObject:
+        holder = self.vm.allocate_anonymous(64)
+        self.vm.heap.write_ref(self.index_root, holder)
+        return holder
+
+    def _replace_holder(self, old: HeapObject) -> HeapObject:
+        self.vm.heap.remove_ref(self.index_root, old)
+        return self._new_holder()
+
+    # -- write path -----------------------------------------------------------------
+
+    def add_document(self) -> None:
+        """Index one document (under the IndexWriter.addDocument frame)."""
+        thread = self.thread
+        heap = self.vm.heap
+        params = self.params
+        # Per-document scratch: dies with the request.
+        thread.alloc(cm.L_ADD_ALLOC_DOCUMENT)
+        thread.alloc(cm.L_ADD_ALLOC_TOKENS)
+        thread.alloc(cm.L_ADD_ALLOC_FIELDS)
+        with thread.call(cm.L_ADD_CALL_UPDATE, cm.DOCS_WRITER, "updateDocument"):
+            for _ in range(params.postings_per_doc):
+                posting = thread.alloc(cm.L_UPDATE_ALLOC_POSTING, keep=False)
+                heap.write_ref(self.ram_holder, posting)
+                self.ram_bytes += posting.size
+            for _ in range(params.slots_per_doc):
+                slot = thread.alloc(cm.L_UPDATE_ALLOC_TERMSLOT, keep=False)
+                heap.write_ref(self.ram_holder, slot)
+                self.ram_bytes += slot.size
+            with thread.call(cm.L_UPDATE_CALL_BYTES, cm.BYTE_POOL, "allocate"):
+                for _ in range(params.blocks_per_doc):
+                    block = thread.alloc(cm.L_BYTE_POOL_ALLOC, keep=False)
+                    heap.write_ref(self.ram_holder, block)
+                    self.ram_bytes += block.size
+            self.docs_in_ram += 1
+            self.docs_indexed += 1
+            if self.ram_bytes >= params.ram_buffer_bytes:
+                with thread.call(
+                    cm.L_UPDATE_CALL_FLUSH, cm.SEGMENT_FLUSHER, "flush"
+                ):
+                    self._flush_segment(self.ram_bytes, merged=False)
+                self.ram_holder = self._replace_holder(self.ram_holder)
+                self.ram_bytes = 0
+                self.docs_in_ram = 0
+                self.flush_count += 1
+                for listener in self.flush_listeners:
+                    listener()
+                self._maybe_merge()
+
+    def _flush_segment(self, input_bytes: int, merged: bool) -> None:
+        """Build segment structures (under the SegmentFlusher.flush frame)."""
+        thread = self.thread
+        heap = self.vm.heap
+        params = self.params
+        segment = self.vm.allocate_anonymous(64)
+        target = int(
+            input_bytes * (params.merge_yield if merged else params.segment_yield)
+        )
+        postings_chunks = max(1, target // cm.SIZE_SEGMENT_POSTINGS)
+        for _ in range(postings_chunks):
+            heap.write_ref(
+                segment, thread.alloc(cm.L_FLUSH_ALLOC_POSTINGS, keep=False)
+            )
+        for _ in range(max(1, postings_chunks // 8)):
+            heap.write_ref(
+                segment, thread.alloc(cm.L_FLUSH_ALLOC_TERMDICT, keep=False)
+            )
+            heap.write_ref(
+                segment, thread.alloc(cm.L_FLUSH_ALLOC_NORMS, keep=False)
+            )
+        # Term-dictionary strings via the shared BytesRef pool (the
+        # long-lived side of conflict #2) and pooled byte blocks (the
+        # long-lived side of conflict #1).
+        with thread.call(cm.L_FLUSH_CALL_COPY, cm.BYTESREF_POOL, "copy"):
+            for _ in range(12):
+                heap.write_ref(
+                    segment, thread.alloc(cm.L_BYTESREF_COPY, keep=False)
+                )
+        with thread.call(cm.L_FLUSH_CALL_BYTES, cm.BYTE_POOL, "allocate"):
+            for _ in range(4):
+                heap.write_ref(
+                    segment, thread.alloc(cm.L_BYTE_POOL_ALLOC, keep=False)
+                )
+        heap.write_ref(self.segments_holder, segment)
+        actual = (
+            postings_chunks * cm.SIZE_SEGMENT_POSTINGS
+            + max(1, postings_chunks // 8) * (cm.SIZE_TERMDICT + cm.SIZE_NORMS)
+        )
+        self.segments.append((segment, actual, merged))
+        self.segment_bytes_total += actual
+        self._enforce_segment_cap()
+
+    def _maybe_merge(self) -> None:
+        """Tiered merge: combine the oldest small segments into one."""
+        small = [(s, b) for (s, b, merged) in self.segments if not merged]
+        if len(small) < self.params.merge_factor:
+            return
+        thread = self.thread
+        heap = self.vm.heap
+        to_merge = small[: self.params.merge_factor]
+        merged_input = sum(b for _, b in to_merge)
+        with thread.entry(cm.SEGMENT_MERGER, "merge"):
+            with thread.call(cm.L_MERGE_CALL_FLUSH, cm.SEGMENT_FLUSHER, "flush"):
+                self._flush_segment(merged_input, merged=True)
+        victims = {id(s) for s, _ in to_merge}
+        remaining: Deque[Tuple[HeapObject, int, bool]] = collections.deque()
+        for seg, size, merged in self.segments:
+            if id(seg) in victims:
+                heap.remove_ref(self.segments_holder, seg)
+                self.segment_bytes_total -= size
+            else:
+                remaining.append((seg, size, merged))
+        self.segments = remaining
+        self.merge_count += 1
+
+    def _enforce_segment_cap(self) -> None:
+        heap = self.vm.heap
+        while (
+            self.segment_bytes_total > self.params.max_segment_bytes
+            and len(self.segments) > 1
+        ):
+            seg, size, _ = self.segments.popleft()
+            heap.remove_ref(self.segments_holder, seg)
+            self.segment_bytes_total -= size
+
+    # -- read path -------------------------------------------------------------------
+
+    def search(self) -> None:
+        """One top-words query (under the IndexSearcher.search frame)."""
+        thread = self.thread
+        thread.alloc(cm.L_SEARCH_ALLOC_QUERY)
+        thread.alloc(cm.L_SEARCH_ALLOC_SCORER)
+        thread.alloc(cm.L_SEARCH_ALLOC_TOPDOCS)
+        # Young-path uses of the two shared helpers.
+        with thread.call(cm.L_SEARCH_CALL_BYTES, cm.BYTE_POOL, "allocate"):
+            thread.alloc(cm.L_BYTE_POOL_ALLOC)
+        with thread.call(cm.L_SEARCH_CALL_COPY, cm.BYTESREF_POOL, "copy"):
+            thread.alloc(cm.L_BYTESREF_COPY)
+        self.searches += 1

@@ -1,0 +1,49 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import SimConfig
+from repro.gc.g1 import G1Collector
+from repro.gc.ng2c import NG2CCollector
+from repro.runtime.code import ClassModel
+from repro.runtime.vm import VM
+
+
+@pytest.fixture
+def small_config() -> SimConfig:
+    """8 MiB heap / 1 MiB young: big enough for real collections, small
+    enough that unit tests finish instantly."""
+    return SimConfig.small()
+
+
+@pytest.fixture
+def g1_vm(small_config) -> VM:
+    return VM(small_config, collector=G1Collector())
+
+
+@pytest.fixture
+def ng2c_vm(small_config) -> VM:
+    return VM(small_config, collector=NG2CCollector())
+
+
+def build_simple_class(
+    name: str = "app.Simple",
+    alloc_lines=(10,),
+    call_lines=(),
+    size_hint: int = 128,
+) -> ClassModel:
+    """A one-method class model: method ``run`` with the given sites."""
+    model = ClassModel(name)
+    method = model.add_method("run")
+    for line in alloc_lines:
+        method.add_alloc_site(line, "Obj", size_hint)
+    for line, callee_class, callee_method in call_lines:
+        method.add_call_site(line, callee_class, callee_method)
+    return model
+
+
+@pytest.fixture
+def simple_class() -> ClassModel:
+    return build_simple_class()

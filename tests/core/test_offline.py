@@ -1,0 +1,73 @@
+"""Tests for the offline record-then-analyze workflow."""
+
+import json
+import os
+
+import pytest
+
+from repro.core.offline import analyze_recording, record_to_dir
+from repro.core.pipeline import POLM2Pipeline
+from repro.errors import ProfileFormatError
+from repro.snapshot.snapshot import Snapshot, SnapshotStore
+from repro.workloads import make_workload
+
+
+class TestSnapshotPersistence:
+    def test_store_roundtrip(self, tmp_path):
+        store = SnapshotStore()
+        for seq in (1, 2):
+            store.append(
+                Snapshot(
+                    seq=seq,
+                    time_ms=float(seq),
+                    engine="criu",
+                    pages_written=seq,
+                    size_bytes=seq * 4096,
+                    duration_us=seq * 10.0,
+                    live_object_ids=frozenset({seq, seq + 10}),
+                    incremental=seq > 1,
+                )
+            )
+        path = str(tmp_path / "snaps.jsonl")
+        store.save(path)
+        loaded = SnapshotStore.load(path)
+        assert len(loaded) == 2
+        assert loaded[0].live_object_ids == frozenset({1, 11})
+        assert loaded[1].incremental
+        assert loaded[1].size_bytes == 8192
+
+
+class TestRecordAnalyze:
+    @pytest.fixture(scope="class")
+    def recording(self, tmp_path_factory):
+        out = str(tmp_path_factory.mktemp("rec") / "cassandra-wi")
+        record_to_dir("cassandra-wi", out, duration_ms=10_000.0, seed=7)
+        return out
+
+    def test_recording_directory_contents(self, recording):
+        assert os.path.exists(os.path.join(recording, "traces.json"))
+        assert os.path.exists(os.path.join(recording, "snapshots.jsonl"))
+        with open(os.path.join(recording, "meta.json")) as handle:
+            meta = json.load(handle)
+        assert meta["workload"] == "cassandra-wi"
+        assert meta["allocations_recorded"] > 0
+        assert meta["snapshots_taken"] > 0
+
+    def test_offline_analysis_matches_online(self, recording):
+        offline = analyze_recording(recording)
+        pipeline = POLM2Pipeline(lambda: make_workload("cassandra-wi", seed=7))
+        online = pipeline.run_profiling_phase(duration_ms=10_000.0)
+        assert {d.location for d in offline.alloc_directives} == {
+            d.location for d in online.alloc_directives
+        }
+        assert offline.conflicts_detected == online.conflicts_detected
+
+    def test_analyze_requires_meta(self, tmp_path):
+        with pytest.raises(ProfileFormatError):
+            analyze_recording(str(tmp_path))
+
+    def test_analyzed_profile_is_usable(self, recording):
+        profile = analyze_recording(recording)
+        pipeline = POLM2Pipeline(lambda: make_workload("cassandra-wi", seed=7))
+        result = pipeline.run_production_phase(profile, duration_ms=8_000.0)
+        assert result.ops_completed > 0

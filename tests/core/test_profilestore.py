@@ -1,0 +1,68 @@
+"""Unit tests for the per-workload profile store (§3.5)."""
+
+import pytest
+
+from repro.core.profile import AllocationProfile, AllocDirective
+from repro.core.profilestore import ProfileStore
+from repro.errors import ProfileError
+
+
+def make_profile(workload: str) -> AllocationProfile:
+    return AllocationProfile(
+        workload=workload,
+        alloc_directives=[AllocDirective("C", "m", 1)],
+        call_directives=[],
+    )
+
+
+@pytest.fixture
+def store(tmp_path) -> ProfileStore:
+    return ProfileStore(str(tmp_path / "profiles"))
+
+
+class TestSaveLoad:
+    def test_roundtrip(self, store):
+        store.save(make_profile("cassandra-wi"))
+        loaded = store.load("cassandra-wi")
+        assert loaded.workload == "cassandra-wi"
+        assert loaded.instrumented_site_count == 1
+
+    def test_list_workloads(self, store):
+        store.save(make_profile("cassandra-wi"))
+        store.save(make_profile("lucene"))
+        assert store.list_workloads() == ["cassandra-wi", "lucene"]
+
+    def test_has_profile(self, store):
+        assert not store.has_profile("lucene")
+        store.save(make_profile("lucene"))
+        assert store.has_profile("lucene")
+
+    def test_load_missing_raises(self, store):
+        with pytest.raises(ProfileError):
+            store.load("graphchi-pr")
+
+    def test_load_all(self, store):
+        store.save(make_profile("a"))
+        store.save(make_profile("b"))
+        assert set(store.load_all()) == {"a", "b"}
+
+
+class TestSelection:
+    def test_exact_match_preferred(self, store):
+        store.save(make_profile("cassandra-wi"))
+        store.save(make_profile("cassandra-ri"))
+        assert store.select("cassandra-ri").workload == "cassandra-ri"
+
+    def test_same_application_fallback(self, store):
+        store.save(make_profile("cassandra-wi"))
+        selected = store.select("cassandra-wr")
+        assert selected.workload == "cassandra-wi"
+
+    def test_explicit_fallback(self, store):
+        store.save(make_profile("lucene"))
+        selected = store.select("graphchi-pr", fallback="lucene")
+        assert selected.workload == "lucene"
+
+    def test_no_candidate_raises(self, store):
+        with pytest.raises(ProfileError):
+            store.select("graphchi-pr")

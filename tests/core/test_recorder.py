@@ -1,0 +1,123 @@
+"""Unit tests for the Recorder agent and allocation records."""
+
+import pytest
+
+from repro.config import SimConfig
+from repro.core.dumper import Dumper
+from repro.core.recorder import AllocationRecords, Recorder
+from repro.errors import ProfileFormatError
+from repro.gc.ng2c import NG2CCollector
+from repro.runtime.code import ClassModel
+from repro.runtime.vm import VM
+
+
+def build_vm_with_recorder(snapshot_every: int = 1, with_dumper: bool = True):
+    vm = VM(SimConfig.small(), collector=NG2CCollector())
+    recorder = Recorder(snapshot_every=snapshot_every)
+    dumper = Dumper(vm) if with_dumper else None
+    recorder.attach(vm, dumper)
+    model = ClassModel("C")
+    model.add_method("m").add_alloc_site(10, "Obj", 512)
+    vm.classloader.load(model)
+    return vm, recorder, dumper
+
+
+class TestAllocationRecords:
+    def test_log_interns_traces(self):
+        records = AllocationRecords()
+        trace = (("C", "m", 10),)
+        t1 = records.log(trace, 1)
+        t2 = records.log(trace, 2)
+        assert t1 == t2
+        assert records.trace_count == 1
+        assert records.streams[t1] == [1, 2]
+        assert records.total_allocations == 2
+
+    def test_distinct_traces_distinct_streams(self):
+        records = AllocationRecords()
+        records.log((("C", "a", 1),), 1)
+        records.log((("C", "b", 2),), 2)
+        assert records.trace_count == 2
+        assert sorted(records.recorded_object_ids()) == [1, 2]
+
+    def test_flush_and_load_roundtrip(self, tmp_path):
+        records = AllocationRecords()
+        trace = (("C", "m", 10), ("D", "n", 20))
+        for oid in (5, 6, 7):
+            records.log(trace, oid)
+        records.flush_to_dir(str(tmp_path))
+        loaded = AllocationRecords.load_from_dir(str(tmp_path))
+        assert loaded.traces == records.traces
+        assert loaded.streams == records.streams
+
+    def test_load_missing_table_raises(self, tmp_path):
+        with pytest.raises(ProfileFormatError):
+            AllocationRecords.load_from_dir(str(tmp_path / "nope"))
+
+
+class TestRecorderInstrumentation:
+    def test_all_sites_record_hooked_at_load(self):
+        vm, recorder, _ = build_vm_with_recorder()
+        site = vm.classloader.lookup("C").method("m").alloc_site(10)
+        assert site.record_hook
+        assert recorder.instrumented_site_count == 1
+
+    def test_allocations_logged_with_trace(self):
+        vm, recorder, _ = build_vm_with_recorder()
+        thread = vm.new_thread("t")
+        with thread.entry("C", "m"):
+            obj = thread.alloc(10)
+        assert recorder.records.total_allocations == 1
+        trace_id = next(iter(recorder.records.streams))
+        assert recorder.records.traces[trace_id] == (("C", "m", 10),)
+        assert recorder.records.streams[trace_id] == [obj.object_id]
+
+    def test_logging_charges_mutator_time(self):
+        vm, recorder, _ = build_vm_with_recorder()
+        thread = vm.new_thread("t")
+        before = vm.clock.now_us
+        with thread.entry("C", "m"):
+            thread.alloc(10)
+        assert vm.clock.now_us > before
+
+
+class TestSnapshotTriggering:
+    def test_snapshot_after_every_gc_cycle(self):
+        vm, recorder, dumper = build_vm_with_recorder(snapshot_every=1)
+        thread = vm.new_thread("t")
+        with thread.entry("C", "m"):
+            while vm.collector.cycles < 3:
+                thread.alloc(10, keep=False)
+        assert dumper.snapshots_taken == vm.collector.cycles
+
+    def test_snapshot_every_n_cycles(self):
+        vm, recorder, dumper = build_vm_with_recorder(snapshot_every=2)
+        thread = vm.new_thread("t")
+        with thread.entry("C", "m"):
+            while vm.collector.cycles < 4:
+                thread.alloc(10, keep=False)
+        assert dumper.snapshots_taken == vm.collector.cycles // 2
+
+    def test_no_need_marked_before_snapshot(self):
+        vm, recorder, dumper = build_vm_with_recorder()
+        thread = vm.new_thread("t")
+        with thread.entry("C", "m"):
+            while not dumper.store.snapshots:
+                thread.alloc(10, keep=False)
+        # Everything allocated was garbage, so the snapshot skipped the
+        # (dead) young pages: far fewer pages than were dirtied.
+        snap = dumper.store[0]
+        assert snap.pages_written * vm.heap.page_size < vm.config.young_bytes
+
+    def test_snapshot_time_charged_to_clock(self):
+        vm, recorder, dumper = build_vm_with_recorder()
+        thread = vm.new_thread("t")
+        with thread.entry("C", "m"):
+            while not dumper.store.snapshots:
+                thread.alloc(10, keep=False)
+        snap = dumper.store[0]
+        assert vm.clock.now_us >= snap.duration_us
+
+    def test_invalid_snapshot_every(self):
+        with pytest.raises(ValueError):
+            Recorder(snapshot_every=0)

@@ -1,0 +1,37 @@
+"""Unit tests for the lifetime-demographics experiment."""
+
+from repro.experiments import demographics
+
+
+class TestControlWorkload:
+    def test_control_obeys_weak_hypothesis(self):
+        row = demographics.measure_workload(
+            "control",
+            duration_ms=5_000.0,
+            workload=demographics.RequestResponseControl(),
+        )
+        assert row.objects_observed > 1000
+        assert row.survival[1] < 0.02
+        assert row.middle_lived_fraction < 0.01
+
+
+class TestBGPLATDemographics:
+    def test_cassandra_violates_weak_hypothesis(self):
+        row = demographics.measure_workload("cassandra-wi", duration_ms=8_000.0)
+        assert row.survival[1] > 0.15
+        assert row.middle_lived_fraction > 0.05
+
+    def test_survival_monotone_in_threshold(self):
+        row = demographics.measure_workload("cassandra-wi", duration_ms=8_000.0)
+        thresholds = sorted(row.survival)
+        values = [row.survival[t] for t in thresholds]
+        assert values == sorted(values, reverse=True)
+
+
+class TestRender:
+    def test_render_contains_all_rows(self):
+        rows = demographics.run(workloads=("graphchi-pr",), duration_ms=5_000.0)
+        text = demographics.render(rows)
+        assert "control" in text
+        assert "graphchi-pr" in text
+        assert "%" in text

@@ -1,0 +1,129 @@
+"""Smoke tests for the experiment drivers at reduced durations.
+
+These confirm that every table/figure module runs end-to-end and that the
+paper's qualitative claims hold even at a fraction of the benchmark
+durations.  The full-scale numbers live in ``benchmarks/``.
+"""
+
+import pytest
+
+from repro.experiments import fig3_fig4, fig5, fig6, fig7, fig8, fig9, table1
+from repro.experiments.runner import ExperimentRunner, ExperimentSettings
+
+#: Workloads exercised in the smoke pass (one per platform, for speed).
+SMOKE_WORKLOADS = ("cassandra-wi", "graphchi-pr")
+
+
+@pytest.fixture(scope="module")
+def runner() -> ExperimentRunner:
+    return ExperimentRunner(
+        ExperimentSettings(profiling_ms=6_000.0, production_ms=10_000.0)
+    )
+
+
+class TestTable1:
+    def test_rows_for_smoke_workloads(self, runner):
+        for workload in SMOKE_WORKLOADS:
+            row = table1.build_row(runner, workload)
+            assert row.polm2_sites > 0
+            assert row.ng2c_sites > 0
+            assert row.polm2_generations >= 2
+            cells = row.cells()
+            assert len(cells) == 3
+
+    def test_render_includes_paper_reference(self, runner):
+        rows = {w: table1.build_row(runner, w) for w in SMOKE_WORKLOADS}
+        text = table1.render(rows)
+        assert "Table 1" in text
+        for workload in SMOKE_WORKLOADS:
+            assert workload in text
+
+
+class TestFig3Fig4:
+    def test_snapshot_comparison_shape(self):
+        comparison = fig3_fig4.run_workload(
+            "cassandra-wi", duration_ms=8_000.0, max_snapshots=6
+        )
+        assert len(comparison.criu) == len(comparison.jmap)
+        assert comparison.criu, "no snapshots taken"
+        # The paper's headline: Dumper is far cheaper than jmap.
+        assert comparison.mean_time_ratio() < 0.5
+        assert comparison.mean_size_ratio() < 1.0
+
+    def test_render(self):
+        results = fig3_fig4.run(
+            workloads=("cassandra-wi",), duration_ms=6_000.0
+        )
+        text = fig3_fig4.render(results)
+        assert "jmap" in text
+
+
+class TestPauseFigures:
+    def test_fig5_polm2_beats_g1(self, runner):
+        panels = {
+            w: fig5.Fig5Panel(
+                workload=w,
+                series={
+                    name: __import__(
+                        "repro.metrics.percentiles", fromlist=["percentile_row"]
+                    ).percentile_row(vals)
+                    for name, vals in runner.pause_series(w).items()
+                },
+            )
+            for w in SMOKE_WORKLOADS
+        }
+        for workload, panel in panels.items():
+            assert panel.worst("POLM2") < panel.worst("G1")
+            assert panel.worst_reduction_vs_g1() > 0.3
+
+    def test_fig6_fewer_long_pauses(self, runner):
+        from repro.metrics.histogram import PauseHistogram
+
+        for workload in SMOKE_WORKLOADS:
+            series = runner.pause_series(workload)
+            g1 = PauseHistogram().add_all(series["G1"])
+            polm2 = PauseHistogram().add_all(series["POLM2"])
+            assert polm2.long_pause_count(32.0) < g1.long_pause_count(32.0)
+
+
+class TestThroughputAndMemory:
+    def test_fig7_shape(self, runner):
+        from repro.metrics.throughput import normalized_throughput
+
+        for workload in SMOKE_WORKLOADS:
+            raw = {
+                s: runner.result(workload, s).throughput_ops_s
+                for s in ("g1", "ng2c", "polm2", "c4")
+            }
+            norm = normalized_throughput(raw)
+            # POLM2 does not significantly degrade throughput...
+            assert norm["polm2"] > 0.9
+            # ...and C4 is the slowest collector.
+            assert norm["c4"] == min(norm.values())
+
+    def test_fig8_timelines_recorded(self, runner):
+        result = runner.result("cassandra-wi", "polm2")
+        assert len(result.throughput_timeline) > 3
+        assert all(v >= 0 for v in result.throughput_timeline)
+
+    def test_fig9_memory_not_increased(self, runner):
+        from repro.metrics.memory import normalized_memory
+
+        for workload in SMOKE_WORKLOADS:
+            raw = {
+                s: runner.result(workload, s).peak_memory_bytes
+                for s in ("g1", "ng2c", "polm2")
+            }
+            norm = normalized_memory(raw)
+            assert norm["polm2"] <= 1.15
+            assert norm["ng2c"] <= 1.15
+
+
+class TestRunnerCaching:
+    def test_results_cached(self, runner):
+        first = runner.result("cassandra-wi", "g1")
+        second = runner.result("cassandra-wi", "g1")
+        assert first is second
+
+    def test_profile_cached(self, runner):
+        assert runner.profile("cassandra-wi") is runner.profile("cassandra-wi")

@@ -1,0 +1,111 @@
+"""Unit tests for the experiment renderers (no simulation involved)."""
+
+from repro.experiments import fig3_fig4, fig5, fig6, fig7, fig8, fig9, table1
+from repro.experiments.fig3_fig4 import SnapshotComparison
+from repro.experiments.fig5 import Fig5Panel
+from repro.experiments.fig6 import Fig6Panel
+from repro.experiments.fig8 import Fig8Panel
+from repro.experiments.table1 import Table1Row
+from repro.metrics.histogram import PauseHistogram
+from repro.snapshot.snapshot import Snapshot
+
+
+def snap(seq, engine, size, duration):
+    return Snapshot(
+        seq=seq,
+        time_ms=float(seq),
+        engine=engine,
+        pages_written=1,
+        size_bytes=size,
+        duration_us=duration,
+        live_object_ids=frozenset(),
+    )
+
+
+class TestTable1Render:
+    def test_render_with_paper_reference(self):
+        rows = {
+            "cassandra-wi": Table1Row("cassandra-wi", 10, 11, 4, "N", 2, 2)
+        }
+        text = table1.render(rows)
+        assert "10/11" in text
+        assert "4/N" in text
+        assert "11/11" in text  # the paper's value, side by side
+
+    def test_cells(self):
+        row = Table1Row("lucene", 2, 8, 2, "2", 2, 0)
+        assert row.cells() == ["2/8", "2/2", "2/0"]
+
+
+class TestFig3Fig4:
+    def test_ratios(self):
+        comparison = SnapshotComparison(
+            workload="w",
+            criu=[snap(1, "criu", 100, 10.0), snap(2, "criu", 200, 20.0)],
+            jmap=[snap(1, "jmap", 1000, 100.0), snap(2, "jmap", 1000, 100.0)],
+        )
+        assert comparison.time_ratio_series() == [0.1, 0.2]
+        assert comparison.size_ratio_series() == [0.1, 0.2]
+        assert comparison.mean_time_ratio() == 0.15000000000000002
+        text = fig3_fig4.render({"w": comparison})
+        assert "time ratio" in text
+
+    def test_zero_division_guarded(self):
+        comparison = SnapshotComparison(
+            workload="w",
+            criu=[snap(1, "criu", 0, 0.0)],
+            jmap=[snap(1, "jmap", 0, 0.0)],
+        )
+        assert comparison.time_ratio_series() == []
+        assert comparison.mean_size_ratio() == 0.0
+
+
+class TestFig5Panel:
+    def test_reduction(self):
+        panel = Fig5Panel(
+            workload="w",
+            series={"G1": [1, 2, 100], "POLM2": [1, 2, 25], "NG2C": [1, 2, 30]},
+        )
+        assert panel.worst("G1") == 100
+        assert panel.worst_reduction_vs_g1("POLM2") == 0.75
+        text = fig5.render({"w": panel})
+        assert "worst-pause reduction" in text
+
+    def test_zero_g1(self):
+        panel = Fig5Panel(workload="w", series={"G1": [0], "POLM2": [0]})
+        assert panel.worst_reduction_vs_g1() == 0.0
+
+
+class TestFig6Panel:
+    def test_long_pauses(self):
+        panel = Fig6Panel(
+            workload="w",
+            histograms={
+                "G1": PauseHistogram().add_all([100.0, 200.0, 1.0]),
+                "POLM2": PauseHistogram().add_all([1.0, 2.0]),
+            },
+        )
+        assert panel.long_pauses("G1") == 2
+        assert panel.long_pauses("POLM2") == 0
+        assert "G1" in fig6.render({"w": panel})
+
+
+class TestFig8Panel:
+    def test_mean(self):
+        panel = Fig8Panel(
+            workload="w",
+            timelines={"g1": [10.0, 20.0], "c4": [5.0, 5.0]},
+        )
+        assert panel.mean("g1") == 15.0
+        text = fig8.render({"w": panel})
+        assert "mean=" in text
+
+
+class TestFig7Fig9Render:
+    def test_fig7_render(self):
+        text = fig7.render({"w": {"g1": 1.0, "polm2": 1.05}})
+        assert "normalized to G1" in text
+
+    def test_fig9_render(self):
+        text = fig9.render({"w": {"g1": 1.0, "polm2": 0.9}})
+        assert "memory" in text.lower()

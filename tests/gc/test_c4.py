@@ -1,0 +1,63 @@
+"""Unit tests for the C4 concurrent-collector model."""
+
+from repro.config import SimConfig, YOUNG_GEN
+from repro.gc.c4 import C4Collector
+from repro.gc.events import CONCURRENT
+from repro.runtime.vm import VM
+
+
+def build_vm(**overrides) -> VM:
+    return VM(SimConfig.small(**overrides), collector=C4Collector())
+
+
+class TestPauses:
+    def test_all_pauses_below_10ms(self):
+        """Paper §5: 'the duration of all pauses fall below 10 ms'."""
+        vm = build_vm()
+        root = vm.allocate_anonymous(64)
+        vm.roots.pin("root", root)
+        for i in range(6000):
+            obj = vm.allocate_anonymous(1024)
+            if i % 3 == 0:
+                vm.heap.write_ref(root, obj)
+            if i % 600 == 0:
+                vm.heap.clear_refs(root)
+        assert vm.collector.pauses, "no concurrent cycles ran"
+        assert all(p.duration_ms < 10.0 for p in vm.collector.pauses)
+        assert all(p.kind == CONCURRENT for p in vm.collector.pauses)
+
+    def test_pauses_deterministic_per_seed(self):
+        def run(seed):
+            vm = VM(SimConfig.small(seed=seed), collector=C4Collector())
+            for _ in range(10_000):
+                vm.allocate_anonymous(1024)
+            assert vm.collector.pauses, "no concurrent cycles ran"
+            return [p.duration_ms for p in vm.collector.pauses]
+
+        assert run(1) == run(1)
+        assert run(1) != run(2)
+
+
+class TestMutatorTax:
+    def test_barrier_overhead(self):
+        vm = build_vm()
+        assert vm.collector.mutator_overhead == vm.config.costs.c4_barrier_tax
+        assert vm.collector.mutator_overhead > 1.0
+
+
+class TestMemory:
+    def test_pre_reserves_whole_heap(self):
+        vm = build_vm()
+        assert vm.collector.pre_reserves_memory
+        assert vm.collector.reserved_bytes == vm.config.heap_bytes
+
+    def test_reclaims_garbage(self):
+        vm = build_vm()
+        for _ in range(6000):
+            vm.allocate_anonymous(1024)  # all garbage
+        assert vm.heap.used_bytes < 6000 * 1024
+
+    def test_single_space(self):
+        vm = build_vm()
+        assert vm.collector.resolve_allocation_gen(0) == YOUNG_GEN
+        assert vm.collector.resolve_allocation_gen(7) == YOUNG_GEN

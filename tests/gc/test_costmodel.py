@@ -1,0 +1,44 @@
+"""Unit tests for the pause cost model."""
+
+from repro.config import CostModel
+from repro.gc import costmodel
+
+
+COSTS = CostModel()
+
+
+class TestYoungPause:
+    def test_floor_is_fixed_cost(self):
+        assert costmodel.young_pause_us(COSTS, 0, 0, 0) == COSTS.pause_fixed_us
+
+    def test_monotonic_in_survivors(self):
+        a = costmodel.young_pause_us(COSTS, 100, 1024, 0)
+        b = costmodel.young_pause_us(COSTS, 100, 2048, 0)
+        assert b > a
+
+    def test_promotion_costs_more_than_survival(self):
+        survive = costmodel.young_pause_us(COSTS, 0, 10_240, 0)
+        promote = costmodel.young_pause_us(COSTS, 0, 0, 10_240)
+        assert promote > survive
+
+    def test_card_scan_floor_scales_with_tenured(self):
+        small = costmodel.young_pause_us(COSTS, 0, 0, 0, tenured_bytes=1 << 20)
+        large = costmodel.young_pause_us(COSTS, 0, 0, 0, tenured_bytes=32 << 20)
+        assert large > small
+
+
+class TestOtherPauses:
+    def test_mixed_scales_with_compaction(self):
+        a = costmodel.mixed_pause_us(COSTS, 0, 1024)
+        b = costmodel.mixed_pause_us(COSTS, 0, 1 << 20)
+        assert b > a
+
+    def test_gen_wholesale_free_is_cheap(self):
+        wholesale = costmodel.gen_pause_us(COSTS, 0, 0, regions_freed_wholesale=100)
+        compact = costmodel.gen_pause_us(COSTS, 0, 100 * 64 * 1024, 0)
+        assert wholesale < compact / 10
+
+    def test_full_collection_most_expensive_fixed(self):
+        full = costmodel.full_pause_us(COSTS, 0, 0)
+        young = costmodel.young_pause_us(COSTS, 0, 0, 0)
+        assert full > young

@@ -1,0 +1,60 @@
+"""Unit tests for GC pause events and the pause log."""
+
+import pytest
+
+from repro.gc.events import GCPause, PauseLog
+
+
+def pause(duration_ms: float, kind: str = "young", cycle: int = 1) -> GCPause:
+    return GCPause(
+        cycle=cycle,
+        start_ms=0.0,
+        duration_ms=duration_ms,
+        kind=kind,
+        collector="test",
+    )
+
+
+class TestGCPause:
+    def test_end_time(self):
+        event = GCPause(
+            cycle=1, start_ms=10.0, duration_ms=5.0, kind="young", collector="g1"
+        )
+        assert event.end_ms == 15.0
+
+    def test_immutable(self):
+        event = pause(1.0)
+        with pytest.raises(Exception):
+            event.duration_ms = 2.0
+
+
+class TestPauseLog:
+    def test_empty_log(self):
+        log = PauseLog()
+        assert log.count == 0
+        assert log.worst_ms == 0.0
+        assert log.total_pause_ms == 0.0
+        assert log.durations_ms() == []
+
+    def test_aggregations(self):
+        log = PauseLog()
+        for duration in (5.0, 20.0, 1.0):
+            log.append(pause(duration))
+        assert log.count == 3
+        assert log.worst_ms == 20.0
+        assert log.total_pause_ms == 26.0
+        assert len(log) == 3
+
+    def test_by_kind(self):
+        log = PauseLog()
+        log.append(pause(1.0, kind="young"))
+        log.append(pause(2.0, kind="mixed"))
+        log.append(pause(3.0, kind="young"))
+        assert [p.duration_ms for p in log.by_kind("young")] == [1.0, 3.0]
+
+    def test_pauses_returns_copy(self):
+        log = PauseLog()
+        log.append(pause(1.0))
+        snapshot = log.pauses
+        snapshot.clear()
+        assert log.count == 1

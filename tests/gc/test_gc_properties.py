@@ -1,0 +1,111 @@
+"""Property-based tests: no collector ever loses a live object."""
+
+from __future__ import annotations
+
+from typing import List
+
+from hypothesis import given, settings, strategies as st
+
+from repro.config import SimConfig
+from repro.gc.c4 import C4Collector
+from repro.gc.g1 import G1Collector
+from repro.gc.ng2c import NG2CCollector
+from repro.runtime.vm import VM
+
+#: Action stream: (size, pretenure index, keep?, drop-epoch?).
+actions = st.lists(
+    st.tuples(
+        st.integers(min_value=16, max_value=4096),
+        st.integers(min_value=0, max_value=3),
+        st.booleans(),
+        st.booleans(),
+    ),
+    min_size=5,
+    max_size=120,
+)
+
+
+def run_mutator(vm: VM, specs, pretenuring: bool) -> List:
+    """Allocate per the action stream; returns the objects kept live."""
+    root = vm.allocate_anonymous(64)
+    vm.roots.pin("root", root)
+    kept = []
+    for size, index, keep, drop in specs:
+        gen_id = vm.collector.resolve_allocation_gen(index if pretenuring else 0)
+        vm.collector.before_allocation(size)
+        obj = vm.heap.allocate(size, gen_id=gen_id)
+        vm.collector.after_allocation(size, gen_id)
+        if keep:
+            vm.heap.write_ref(root, obj)
+            kept.append(obj)
+        if drop and len(kept) > 6:
+            # Drop the oldest half of the kept set (an epoch dying).
+            survivors = kept[len(kept) // 2 :]
+            vm.heap.replace_refs(root, survivors)
+            kept = survivors
+    return kept
+
+
+class TestNoLiveObjectLost:
+    @given(specs=actions)
+    @settings(max_examples=25, deadline=None)
+    def test_g1_preserves_live_set(self, specs):
+        vm = VM(SimConfig.small(), collector=G1Collector())
+        kept = run_mutator(vm, specs, pretenuring=False)
+        vm.collector.full_collect()
+        live = {o.object_id for o in vm.heap.trace_live(vm.iter_roots())}
+        assert {o.object_id for o in kept} <= live
+
+    @given(specs=actions)
+    @settings(max_examples=25, deadline=None)
+    def test_ng2c_preserves_live_set(self, specs):
+        vm = VM(SimConfig.small(), collector=NG2CCollector())
+        kept = run_mutator(vm, specs, pretenuring=True)
+        vm.collector.collect_young()
+        vm.collector.collect_generations()
+        live = {o.object_id for o in vm.heap.trace_live(vm.iter_roots())}
+        assert {o.object_id for o in kept} <= live
+
+    @given(specs=actions)
+    @settings(max_examples=25, deadline=None)
+    def test_c4_preserves_live_set(self, specs):
+        vm = VM(SimConfig.small(), collector=C4Collector())
+        kept = run_mutator(vm, specs, pretenuring=False)
+        vm.collector.concurrent_cycle()
+        live = {o.object_id for o in vm.heap.trace_live(vm.iter_roots())}
+        assert {o.object_id for o in kept} <= live
+
+
+class TestIdentityStability:
+    @given(specs=actions)
+    @settings(max_examples=25, deadline=None)
+    def test_ids_stable_across_collections(self, specs):
+        """The §4.3 invariant: identity hashes survive any number of moves."""
+        vm = VM(SimConfig.small(), collector=G1Collector())
+        kept = run_mutator(vm, specs, pretenuring=False)
+        ids_before = [o.object_id for o in kept]
+        vm.collector.collect_young()
+        vm.collector.full_collect()
+        assert [o.object_id for o in kept] == ids_before
+
+
+class TestHeapConsistencyAfterGC:
+    @given(specs=actions)
+    @settings(max_examples=25, deadline=None)
+    def test_generation_accounting_consistent(self, specs):
+        vm = VM(SimConfig.small(), collector=NG2CCollector())
+        run_mutator(vm, specs, pretenuring=True)
+        vm.collector.collect_young()
+        vm.collector.collect_generations()
+        vm.heap.verify()
+
+    @given(specs=actions)
+    @settings(max_examples=25, deadline=None)
+    def test_heap_invariants_hold_under_g1(self, specs):
+        vm = VM(SimConfig.small(), collector=G1Collector())
+        run_mutator(vm, specs, pretenuring=False)
+        vm.heap.verify()
+        vm.collector.collect_young()
+        vm.heap.verify()
+        vm.collector.full_collect()
+        vm.heap.verify()

@@ -1,0 +1,60 @@
+"""Unit tests for the GC log emitter."""
+
+import pytest
+
+from repro.config import SimConfig
+from repro.gc.gclog import GCLog
+from repro.gc.ng2c import NG2CCollector
+from repro.runtime.vm import VM
+
+
+@pytest.fixture
+def logged_vm():
+    vm = VM(SimConfig.small(), collector=NG2CCollector())
+    log = GCLog(vm)
+    return vm, log
+
+
+class TestGCLog:
+    def test_requires_collector(self):
+        vm = VM(SimConfig.small())
+        with pytest.raises(ValueError):
+            GCLog(vm)
+
+    def test_line_per_pause(self, logged_vm):
+        vm, log = logged_vm
+        vm.collector.collect_young()
+        vm.collector.collect_young()
+        assert len(log) == 2
+        assert log.lines[0].startswith("[")
+        assert "GC(1) Pause Young (NG2C)" in log.lines[0]
+        assert "GC(2)" in log.lines[1]
+
+    def test_heap_transition_format(self, logged_vm):
+        vm, log = logged_vm
+        for _ in range(2000):
+            vm.allocate_anonymous(1024)  # garbage; young GC will trigger
+        line = log.lines[0]
+        assert "M->" in line
+        assert f"({vm.config.heap_bytes // (1 << 20)}M)" in line
+        assert line.rstrip().endswith("ms") or "ms (" in line
+
+    def test_wholesale_detail_for_gen_collections(self, logged_vm):
+        vm, log = logged_vm
+        root = vm.allocate_anonymous(64)
+        vm.roots.pin("root", root)
+        gid = vm.collector.ensure_generation(1)
+        for _ in range(100):
+            vm.heap.write_ref(root, vm.heap.allocate(2048, gen_id=gid))
+        vm.heap.clear_refs(root)
+        vm.collector.collect_generations()
+        gen_lines = [l for l in log.lines if "Pause Gen" in l]
+        assert gen_lines
+        assert "regions wholesale" in gen_lines[-1]
+
+    def test_tail_and_render(self, logged_vm):
+        vm, log = logged_vm
+        for _ in range(3):
+            vm.collector.collect_young()
+        assert len(log.tail(2)) == 2
+        assert log.render().count("\n") == 2

@@ -1,0 +1,134 @@
+"""Unit tests for the NG2C pretenuring collector."""
+
+import pytest
+
+from repro.config import SimConfig, YOUNG_GEN
+from repro.errors import UnknownGenerationError
+from repro.gc.events import GEN, YOUNG
+from repro.gc.ng2c import NG2CCollector
+from repro.runtime.vm import VM
+
+
+def build_vm(**overrides) -> VM:
+    return VM(SimConfig.small(**overrides), collector=NG2CCollector())
+
+
+class TestPretenuringAPI:
+    def test_supports_pretenuring(self):
+        assert NG2CCollector().supports_pretenuring
+
+    def test_index_zero_is_young(self):
+        vm = build_vm()
+        assert vm.collector.resolve_allocation_gen(0) == YOUNG_GEN
+
+    def test_ensure_generation_creates_once(self):
+        vm = build_vm()
+        gid = vm.collector.ensure_generation(3)
+        assert vm.collector.ensure_generation(3) == gid
+        assert vm.collector.created_generation_count == 1
+
+    def test_distinct_indexes_distinct_generations(self):
+        vm = build_vm()
+        assert vm.collector.ensure_generation(1) != vm.collector.ensure_generation(2)
+
+    def test_rotate_generation(self):
+        vm = build_vm()
+        first = vm.collector.ensure_generation(1)
+        second = vm.collector.rotate_generation(1)
+        assert second != first
+        assert vm.collector.resolve_allocation_gen(1) == second
+        assert first in vm.collector.dynamic_generation_ids
+
+    def test_cannot_rotate_young(self):
+        vm = build_vm()
+        with pytest.raises(UnknownGenerationError):
+            vm.collector.rotate_generation(0)
+
+
+class TestWholesaleReclamation:
+    def test_dead_generation_regions_freed_without_copy(self):
+        vm = build_vm()
+        root = vm.allocate_anonymous(64)
+        vm.roots.pin("root", root)
+        gid = vm.collector.ensure_generation(1)
+        cohort = [vm.heap.allocate(2048, gen_id=gid) for _ in range(200)]
+        for obj in cohort:
+            vm.heap.write_ref(root, obj)
+        vm.heap.clear_refs(root)  # whole cohort dies together
+        vm.collector.collect_generations()
+        last = vm.collector.pauses[-1]
+        assert last.kind == GEN
+        assert last.stats["regions_freed_wholesale"] > 0
+        assert last.stats["compacted_bytes"] == 0
+
+    def test_live_pretenured_data_not_copied(self):
+        vm = build_vm()
+        root = vm.allocate_anonymous(64)
+        vm.roots.pin("root", root)
+        gid = vm.collector.ensure_generation(1)
+        cohort = [vm.heap.allocate(2048, gen_id=gid) for _ in range(100)]
+        for obj in cohort:
+            vm.heap.write_ref(root, obj)
+        addresses = [o.address for o in cohort]
+        vm.collector.collect_generations()
+        assert [o.address for o in cohort] == addresses
+
+    def test_rotated_empty_generation_retired(self):
+        vm = build_vm()
+        gid = vm.collector.ensure_generation(1)
+        vm.heap.allocate(1024, gen_id=gid)  # garbage in the old rotation
+        vm.collector.rotate_generation(1)
+        vm.collector.collect_generations()
+        assert gid not in vm.heap.generations
+
+
+class TestTriggers:
+    def test_pretenured_budget_triggers_gen_collection(self):
+        vm = build_vm()
+        vm.collector.ensure_generation(1)
+        # Pretenure more than young_bytes without touching young.
+        from repro.runtime.code import ClassModel
+
+        model = ClassModel("C")
+        site = model.add_method("m").add_alloc_site(10, "Blk", 4096)
+        site.gen_annotated = True
+        site.pre_set_gen = 1
+        vm.classloader.load(model)
+        thread = vm.new_thread("t")
+        budget = vm.config.young_bytes
+        with thread.entry("C", "m"):
+            for _ in range(budget // 4096 + 8):
+                thread.alloc(10, keep=False)
+        assert any(p.kind == GEN for p in vm.collector.pauses)
+
+    def test_young_collection_on_occupancy(self):
+        vm = build_vm()
+        while not vm.collector.pauses:
+            vm.allocate_anonymous(2048)
+        assert vm.collector.pauses[0].kind == YOUNG
+
+    def test_unannotated_ng2c_promotes_like_g1(self):
+        vm = build_vm()
+        root = vm.allocate_anonymous(64)
+        vm.roots.pin("root", root)
+        keeper = vm.allocate_anonymous(512)
+        vm.heap.write_ref(root, keeper)
+        for _ in range(vm.config.tenure_threshold + 1):
+            start = vm.collector.cycles
+            while vm.collector.cycles == start:
+                vm.allocate_anonymous(2048)
+        assert keeper.gen_id == vm.collector.old_gen_id
+
+
+class TestFullCollection:
+    def test_full_preserves_pretenured_placement(self):
+        vm = build_vm()
+        root = vm.allocate_anonymous(64)
+        vm.roots.pin("root", root)
+        gid = vm.collector.ensure_generation(2)
+        obj = vm.heap.allocate(1024, gen_id=gid)
+        vm.heap.write_ref(root, obj)
+        vm.collector.full_collect()
+        assert obj.gen_id == gid
+        live = {o.object_id for o in vm.heap.trace_live(vm.iter_roots())}
+        assert obj.object_id in live

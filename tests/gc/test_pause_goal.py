@@ -1,0 +1,68 @@
+"""Unit tests for G1's adaptive pause-time goal (MaxGCPauseMillis)."""
+
+import pytest
+
+from repro.config import SimConfig
+from repro.gc.g1 import G1Collector
+from repro.runtime.vm import VM
+
+
+class TestAdaptiveYoungSizing:
+    def test_disabled_without_goal(self):
+        vm = VM(SimConfig.small(), collector=G1Collector())
+        target_before = vm.collector.young_target_bytes
+        vm.collector._adapt_young_size(pause_ms=10_000.0)
+        assert vm.collector.young_target_bytes == target_before
+
+    def test_shrinks_when_over_goal(self):
+        vm = VM(SimConfig.small(pause_goal_ms=10.0), collector=G1Collector())
+        before = vm.collector.young_target_bytes
+        vm.collector._adapt_young_size(pause_ms=50.0)
+        assert vm.collector.young_target_bytes < before
+
+    def test_grows_back_when_under_goal(self):
+        vm = VM(SimConfig.small(pause_goal_ms=10.0), collector=G1Collector())
+        vm.collector._adapt_young_size(pause_ms=50.0)
+        shrunk = vm.collector.young_target_bytes
+        vm.collector._adapt_young_size(pause_ms=1.0)
+        assert vm.collector.young_target_bytes > shrunk
+
+    def test_floor_respected(self):
+        config = SimConfig.small(pause_goal_ms=0.001)
+        vm = VM(config, collector=G1Collector())
+        for _ in range(100):
+            vm.collector._adapt_young_size(pause_ms=1000.0)
+        floor = int(config.young_bytes * G1Collector.MIN_YOUNG_FRACTION)
+        assert vm.collector.young_target_bytes == floor
+
+    def test_ceiling_respected(self):
+        config = SimConfig.small(pause_goal_ms=1_000_000.0)
+        vm = VM(config, collector=G1Collector())
+        for _ in range(100):
+            vm.collector._adapt_young_size(pause_ms=0.001)
+        ceiling = int(config.young_bytes * G1Collector.MAX_YOUNG_FRACTION)
+        assert vm.collector.young_target_bytes == ceiling
+
+    def test_goal_increases_collection_frequency(self):
+        def run(goal):
+            config = SimConfig.small(pause_goal_ms=goal)
+            vm = VM(config, collector=G1Collector())
+            root = vm.allocate_anonymous(64)
+            vm.roots.pin("root", root)
+            held = []
+            for i in range(12_000):
+                obj = vm.allocate_anonymous(512)
+                vm.heap.write_ref(root, obj)
+                held.append(obj)
+                if len(held) > 3000:
+                    vm.heap.replace_refs(root, held[1500:])
+                    held = held[1500:]
+            return vm.collector
+
+        plain = run(goal=None)
+        goal = run(goal=1.0)  # unreachably tight goal -> max shrinking
+        assert len(goal.pauses) > len(plain.pauses)
+
+    def test_invalid_goal_rejected(self):
+        with pytest.raises(ValueError):
+            SimConfig.small(pause_goal_ms=0.0)

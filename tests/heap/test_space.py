@@ -1,0 +1,93 @@
+"""Unit tests for generations (region sets with bump allocation)."""
+
+import pytest
+
+from repro.errors import OutOfMemoryError
+from repro.heap.objects import HeapObject
+from repro.heap.region import Region
+from repro.heap.space import Generation
+
+
+def make_generation(num_regions: int = 4, region_size: int = 4096) -> Generation:
+    pool = [Region(i, i * region_size, region_size) for i in range(num_regions)]
+    pool.reverse()
+    return Generation(1, "test", lambda: pool.pop() if pool else None)
+
+
+class TestAllocation:
+    def test_allocates_and_tags_generation(self):
+        gen = make_generation()
+        obj = HeapObject(size=64)
+        gen.allocate(obj)
+        assert obj.gen_id == 1
+        assert obj.address >= 0
+
+    def test_claims_new_region_when_full(self):
+        gen = make_generation(num_regions=2, region_size=4096)
+        gen.allocate(HeapObject(size=4096))
+        gen.allocate(HeapObject(size=64))
+        assert len(gen.regions) == 2
+
+    def test_oom_when_pool_exhausted(self):
+        gen = make_generation(num_regions=1, region_size=4096)
+        gen.allocate(HeapObject(size=4096))
+        with pytest.raises(OutOfMemoryError):
+            gen.allocate(HeapObject(size=64))
+
+    def test_object_larger_than_region_raises(self):
+        gen = make_generation(region_size=4096)
+        with pytest.raises(OutOfMemoryError):
+            gen.allocate(HeapObject(size=8192))
+
+
+class TestAccounting:
+    def test_used_bytes_incremental(self):
+        gen = make_generation()
+        gen.allocate(HeapObject(size=100))
+        gen.allocate(HeapObject(size=200))
+        assert gen.used_bytes == 300
+
+    def test_used_bytes_matches_regions(self):
+        gen = make_generation()
+        for _ in range(20):
+            gen.allocate(HeapObject(size=500))
+        assert gen.used_bytes == sum(r.used_bytes for r in gen.regions)
+
+    def test_committed_bytes(self):
+        gen = make_generation(region_size=4096)
+        gen.allocate(HeapObject(size=64))
+        assert gen.committed_bytes == 4096
+
+    def test_object_count_and_iter(self):
+        gen = make_generation()
+        objs = [HeapObject(size=64) for _ in range(5)]
+        for obj in objs:
+            gen.allocate(obj)
+        assert gen.object_count == 5
+        assert list(gen.iter_objects()) == objs
+
+
+class TestRegionRelease:
+    def test_release_region_adjusts_usage(self):
+        gen = make_generation(region_size=4096)
+        gen.allocate(HeapObject(size=4096))
+        gen.allocate(HeapObject(size=100))
+        first = gen.regions[0]
+        gen.release_region(first)
+        assert first not in gen.regions
+        assert gen.used_bytes == 100
+
+    def test_release_all(self):
+        gen = make_generation()
+        gen.allocate(HeapObject(size=64))
+        released = gen.release_all_regions()
+        assert len(released) == 1
+        assert gen.regions == []
+        assert gen.used_bytes == 0
+
+    def test_allocation_works_after_release_all(self):
+        gen = make_generation()
+        gen.allocate(HeapObject(size=64))
+        gen.release_all_regions()
+        gen.allocate(HeapObject(size=64))
+        assert gen.used_bytes == 64

@@ -1,0 +1,60 @@
+"""Unit tests for pause-duration histograms."""
+
+import pytest
+
+from repro.metrics.histogram import DEFAULT_EDGES_MS, PauseHistogram, histogram_table
+
+
+class TestHistogram:
+    def test_bucketing(self):
+        hist = PauseHistogram(edges_ms=(1.0, 10.0, 100.0))
+        hist.add(0.5)
+        hist.add(5.0)
+        hist.add(50.0)
+        hist.add(500.0)
+        assert hist.counts == [1, 1, 1, 1]
+
+    def test_boundary_goes_right(self):
+        hist = PauseHistogram(edges_ms=(10.0,))
+        hist.add(10.0)
+        assert hist.counts == [0, 1]
+
+    def test_add_all_chains(self):
+        hist = PauseHistogram().add_all([0.5, 3.0, 700.0])
+        assert hist.total == 3
+
+    def test_labels_match_counts(self):
+        hist = PauseHistogram(edges_ms=(1.0, 2.0))
+        assert hist.labels() == ["<1", "1-2", ">=2"]
+        assert len(hist.labels()) == len(hist.counts)
+
+    def test_intervals(self):
+        hist = PauseHistogram(edges_ms=(1.0,))
+        hist.add(0.1)
+        assert hist.intervals() == [("<1", 1), (">=1", 0)]
+
+    def test_long_pause_count(self):
+        hist = PauseHistogram(edges_ms=(1.0, 10.0, 100.0))
+        hist.add_all([0.5, 5.0, 50.0, 200.0, 300.0])
+        assert hist.long_pause_count(10.0) == 3  # [10,100) and >=100
+
+    def test_unsorted_edges_rejected(self):
+        with pytest.raises(ValueError):
+            PauseHistogram(edges_ms=(10.0, 1.0))
+
+    def test_empty_edges_rejected(self):
+        with pytest.raises(ValueError):
+            PauseHistogram(edges_ms=())
+
+    def test_default_edges_geometric(self):
+        ratios = [
+            b / a for a, b in zip(DEFAULT_EDGES_MS, DEFAULT_EDGES_MS[1:])
+        ]
+        assert all(r == 2.0 for r in ratios)
+
+
+class TestTable:
+    def test_render(self):
+        table = histogram_table({"G1": [50.0, 200.0], "POLM2": [1.0]})
+        assert "G1" in table
+        assert "POLM2" in table

@@ -1,0 +1,105 @@
+"""Unit tests for client-observed latency / SLA compliance."""
+
+import pytest
+
+from repro.gc.events import GCPause
+from repro.metrics.latency import LatencyProfile, latency_profile, sla_table
+
+
+def profile(total_ops=1000, base=1.0, impacted=(50.0,)) -> LatencyProfile:
+    return LatencyProfile(
+        strategy="test",
+        workload="w",
+        total_ops=total_ops,
+        base_latency_ms=base,
+        impacted_latencies_ms=list(impacted),
+    )
+
+
+class TestPercentiles:
+    def test_median_is_base_latency(self):
+        assert profile().percentile_ms(50) == 1.0
+
+    def test_tail_includes_pauses(self):
+        p = profile(total_ops=100, impacted=[50.0])
+        assert p.percentile_ms(100) == 51.0
+        assert p.percentile_ms(99) == 1.0
+
+    def test_many_impacted_shift_lower_percentiles(self):
+        p = profile(total_ops=100, impacted=[10.0] * 50)
+        assert p.percentile_ms(99) == 11.0
+        assert p.percentile_ms(50) == 1.0
+
+    def test_worst(self):
+        p = profile(impacted=[5.0, 80.0, 2.0])
+        assert p.worst_ms() == 81.0
+
+    def test_no_pauses(self):
+        p = profile(impacted=[])
+        assert p.worst_ms() == 1.0
+        assert p.percentile_ms(99.999) == 1.0
+
+    def test_empty_run(self):
+        p = profile(total_ops=0, impacted=[])
+        assert p.percentile_ms(99) == 0.0
+        assert p.sla_compliance(10.0) == 1.0
+
+
+class TestSLA:
+    def test_violations_counted(self):
+        p = profile(total_ops=1000, impacted=[5.0, 50.0, 100.0])
+        assert p.sla_violations(sla_ms=20.0) == 2
+        assert p.sla_compliance(sla_ms=20.0) == pytest.approx(0.998)
+
+    def test_base_over_sla_fails_everything(self):
+        p = profile(base=30.0)
+        assert p.sla_compliance(sla_ms=20.0) == 0.0
+
+    def test_table_renders(self):
+        text = sla_table([profile()], sla_ms=25.0)
+        assert "SLA" in text
+        assert "test" in text
+
+
+class TestFromPhaseResult:
+    def test_profile_from_result(self):
+        from repro.core.pipeline import PhaseResult
+
+        pauses = [
+            GCPause(cycle=1, start_ms=100.0, duration_ms=40.0, kind="young",
+                    collector="G1"),
+            GCPause(cycle=2, start_ms=500.0, duration_ms=10.0, kind="young",
+                    collector="G1"),
+        ]
+        result = PhaseResult(
+            strategy="g1",
+            workload="w",
+            collector_name="G1",
+            duration_ms=1050.0,
+            ops_completed=1000,
+            pauses=pauses,
+            peak_memory_bytes=0,
+            set_generation_calls=0,
+            throughput_timeline=[],
+        )
+        p = latency_profile(result)
+        assert p.total_ops == 1000
+        assert p.base_latency_ms == pytest.approx(1.0)
+        assert sorted(p.impacted_latencies_ms) == [10.0, 40.0]
+        assert p.worst_ms() == pytest.approx(41.0)
+
+    def test_end_to_end_sla_story(self):
+        """The paper's pitch, measured: POLM2 turns SLA violations into
+        compliance on the same workload."""
+        from repro.core.pipeline import POLM2Pipeline
+        from repro.workloads import make_workload
+
+        pipeline = POLM2Pipeline(lambda: make_workload("cassandra-wi", seed=5))
+        prof = pipeline.run_profiling_phase(duration_ms=10_000.0)
+        polm2 = latency_profile(
+            pipeline.run_production_phase(prof, duration_ms=10_000.0)
+        )
+        g1 = latency_profile(pipeline.run_baseline("g1", duration_ms=10_000.0))
+        sla = 30.0  # ms — a fraud-detection-style bound
+        assert polm2.sla_compliance(sla) > g1.sla_compliance(sla)
+        assert polm2.worst_ms() < g1.worst_ms()

@@ -1,0 +1,66 @@
+"""Unit tests for pause percentile computation."""
+
+import pytest
+
+from repro.metrics.percentiles import (
+    PAPER_PERCENTILES,
+    percentile,
+    percentile_row,
+    percentile_table,
+)
+
+
+class TestPercentile:
+    def test_empty_is_zero(self):
+        assert percentile([], 50) == 0.0
+
+    def test_single_value(self):
+        assert percentile([7.0], 50) == 7.0
+        assert percentile([7.0], 99.999) == 7.0
+
+    def test_median_nearest_rank(self):
+        assert percentile([1, 2, 3, 4], 50) == 2
+
+    def test_max_is_p100(self):
+        values = [5.0, 1.0, 9.0]
+        assert percentile(values, 100) == 9.0
+
+    def test_high_percentiles_converge_to_max(self):
+        values = list(range(100))
+        assert percentile(values, 99.999) == 99
+
+    def test_invalid_pct_rejected(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], 0)
+        with pytest.raises(ValueError):
+            percentile([1.0], 101)
+
+    def test_unsorted_input_handled(self):
+        assert percentile([9, 1, 5], 50) == 5
+
+
+class TestRows:
+    def test_row_shape(self):
+        row = percentile_row([1.0, 2.0, 3.0])
+        assert len(row) == len(PAPER_PERCENTILES) + 1
+        assert row[-1] == 3.0
+
+    def test_row_monotone(self):
+        import random
+
+        rng = random.Random(0)
+        values = [rng.random() * 100 for _ in range(500)]
+        row = percentile_row(values)
+        assert row == sorted(row)
+
+    def test_empty_row(self):
+        assert percentile_row([]) == [0.0] * (len(PAPER_PERCENTILES) + 1)
+
+
+class TestTable:
+    def test_table_contains_all_strategies(self):
+        table = percentile_table({"G1": [5.0, 10.0], "POLM2": [1.0, 2.0]})
+        assert "G1" in table
+        assert "POLM2" in table
+        assert "P99.999" in table
+        assert "max" in table

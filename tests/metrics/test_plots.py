@@ -1,0 +1,55 @@
+"""Unit tests for the ASCII plotting helpers."""
+
+from repro.metrics.plots import hbar_chart, sparkline, timeline_panel
+
+
+class TestSparkline:
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_flat_series(self):
+        line = sparkline([5.0, 5.0, 5.0])
+        assert len(line) == 3
+        assert len(set(line)) == 1
+
+    def test_monotone_series_monotone_blocks(self):
+        line = sparkline([1, 2, 3, 4, 5, 6, 7, 8])
+        assert list(line) == sorted(line)
+
+    def test_resampling_caps_width(self):
+        line = sparkline(list(range(500)), width=60)
+        assert len(line) == 60
+
+    def test_extremes_use_extreme_blocks(self):
+        line = sparkline([0.0, 100.0])
+        assert line[0] == "▁"
+        assert line[-1] == "█"
+
+
+class TestHBarChart:
+    def test_empty(self):
+        assert hbar_chart({}) == ""
+
+    def test_bars_scale(self):
+        chart = hbar_chart({"a": 10.0, "b": 5.0}, width=10)
+        lines = chart.splitlines()
+        assert lines[0].count("█") > lines[1].count("█")
+
+    def test_unit_suffix(self):
+        chart = hbar_chart({"x": 3.0}, unit="ms")
+        assert "3ms" in chart
+
+
+class TestTimelinePanel:
+    def test_empty(self):
+        assert timeline_panel({}) == ""
+
+    def test_shared_scale(self):
+        panel = timeline_panel({"hi": [100.0] * 10, "lo": [1.0] * 10})
+        hi_line, lo_line = panel.splitlines()
+        assert "█" in hi_line
+        assert "▁" in lo_line
+
+    def test_mean_annotation(self):
+        panel = timeline_panel({"a": [2.0, 4.0]})
+        assert "(mean 3)" in panel

@@ -1,0 +1,61 @@
+"""Unit tests for throughput and memory normalization."""
+
+import math
+
+import pytest
+
+from repro.metrics.memory import normalized_memory, normalized_memory_table
+from repro.metrics.throughput import (
+    normalized_throughput,
+    throughput_table,
+    timeline_summary,
+)
+
+
+class TestNormalizedThroughput:
+    def test_baseline_is_one(self):
+        result = normalized_throughput({"g1": 100.0, "polm2": 110.0})
+        assert result["g1"] == 1.0
+        assert result["polm2"] == pytest.approx(1.1)
+
+    def test_missing_baseline_rejected(self):
+        with pytest.raises(KeyError):
+            normalized_throughput({"polm2": 1.0})
+
+    def test_zero_baseline_rejected(self):
+        with pytest.raises(ValueError):
+            normalized_throughput({"g1": 0.0})
+
+    def test_table_renders_all(self):
+        table = throughput_table(
+            {"cassandra-wi": {"g1": 1.0, "polm2": 1.01, "c4": 0.7}}
+        )
+        assert "cassandra-wi" in table
+        assert "polm2" in table
+
+
+class TestTimelineSummary:
+    def test_empty(self):
+        summary = timeline_summary([])
+        assert summary == {"mean": 0.0, "min": 0.0, "max": 0.0}
+
+    def test_stats(self):
+        summary = timeline_summary([1.0, 2.0, 3.0])
+        assert summary["mean"] == 2.0
+        assert summary["min"] == 1.0
+        assert summary["max"] == 3.0
+
+
+class TestNormalizedMemory:
+    def test_normalization(self):
+        result = normalized_memory({"g1": 100, "ng2c": 95, "polm2": 105})
+        assert result["g1"] == 1.0
+        assert result["ng2c"] == pytest.approx(0.95)
+
+    def test_missing_baseline(self):
+        with pytest.raises(KeyError):
+            normalized_memory({"ng2c": 10})
+
+    def test_table(self):
+        table = normalized_memory_table({"lucene": {"g1": 1.0, "polm2": 0.9}})
+        assert "lucene" in table

@@ -1,0 +1,94 @@
+"""Unit tests for class loading and agent transformers."""
+
+import pytest
+
+from repro.errors import ClassNotLoadedError, DuplicateClassError
+from repro.runtime.classloader import ClassLoader
+from repro.runtime.code import ClassModel
+
+
+def make_class(name="C"):
+    model = ClassModel(name)
+    model.add_method("m").add_alloc_site(10)
+    return model
+
+
+class RecordingTransformer:
+    """Flips record hooks — a stand-in for the Recorder agent."""
+
+    def __init__(self):
+        self.seen = []
+
+    def transform(self, class_model):
+        self.seen.append(class_model.name)
+        for site in class_model.iter_alloc_sites():
+            site.record_hook = True
+        return class_model
+
+
+class TestLoading:
+    def test_load_and_lookup(self):
+        loader = ClassLoader()
+        loaded = loader.load(make_class())
+        assert loader.lookup("C") is loaded
+        assert loader.get("C") is loaded
+        assert loader.loaded_classes == ["C"]
+
+    def test_duplicate_load_rejected(self):
+        loader = ClassLoader()
+        loader.load(make_class())
+        with pytest.raises(DuplicateClassError):
+            loader.load(make_class())
+
+    def test_lookup_missing_raises(self):
+        loader = ClassLoader()
+        with pytest.raises(ClassNotLoadedError):
+            loader.lookup("Missing")
+        assert loader.get("Missing") is None
+
+    def test_method_lookup(self):
+        loader = ClassLoader()
+        loader.load(make_class())
+        assert loader.method("C", "m").name == "m"
+        with pytest.raises(ClassNotLoadedError):
+            loader.method("C", "missing")
+
+    def test_load_all(self):
+        loader = ClassLoader()
+        loader.load_all([make_class("A"), make_class("B")])
+        assert loader.loaded_classes == ["A", "B"]
+
+
+class TestTransformers:
+    def test_transformer_sees_copy_not_original(self):
+        loader = ClassLoader()
+        loader.add_transformer(RecordingTransformer())
+        original = make_class()
+        loaded = loader.load(original)
+        assert loaded.method("m").alloc_site(10).record_hook
+        assert not original.method("m").alloc_site(10).record_hook
+
+    def test_transformers_run_in_order(self):
+        loader = ClassLoader()
+        order = []
+
+        class Tagger:
+            def __init__(self, tag):
+                self.tag = tag
+
+            def transform(self, model):
+                order.append(self.tag)
+                return model
+
+        loader.add_transformer(Tagger("first"))
+        loader.add_transformer(Tagger("second"))
+        loader.load(make_class())
+        assert order == ["first", "second"]
+
+    def test_remove_transformer(self):
+        loader = ClassLoader()
+        recorder = RecordingTransformer()
+        loader.add_transformer(recorder)
+        loader.remove_transformer(recorder)
+        loaded = loader.load(make_class())
+        assert not loaded.method("m").alloc_site(10).record_hook

@@ -1,0 +1,39 @@
+"""Unit tests for the virtual clock."""
+
+import pytest
+
+from repro.runtime.clock import VirtualClock
+
+
+class TestVirtualClock:
+    def test_starts_at_zero(self):
+        clock = VirtualClock()
+        assert clock.now_us == 0.0
+        assert clock.now_ms == 0.0
+        assert clock.now_s == 0.0
+
+    def test_custom_start(self):
+        clock = VirtualClock(start_us=1500.0)
+        assert clock.now_ms == 1.5
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(ValueError):
+            VirtualClock(start_us=-1)
+
+    def test_advance(self):
+        clock = VirtualClock()
+        clock.advance_us(2500)
+        assert clock.now_ms == 2.5
+        clock.advance_ms(1.0)
+        assert clock.now_ms == 3.5
+
+    def test_cannot_move_backwards(self):
+        clock = VirtualClock()
+        with pytest.raises(ValueError):
+            clock.advance_us(-1)
+
+    def test_unit_conversions_consistent(self):
+        clock = VirtualClock()
+        clock.advance_us(3_000_000)
+        assert clock.now_s == 3.0
+        assert clock.now_ms == 3000.0

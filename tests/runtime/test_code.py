@@ -1,0 +1,107 @@
+"""Unit tests for the code model and site interning."""
+
+import pytest
+
+from repro.runtime.code import (
+    AllocSite,
+    CallSite,
+    ClassModel,
+    MethodModel,
+    SiteRegistry,
+)
+
+
+class TestMethodModel:
+    def test_add_sites(self):
+        method = MethodModel("C", "m")
+        alloc = method.add_alloc_site(10, "Row", 128)
+        call = method.add_call_site(20, "D", "n")
+        assert method.alloc_site(10) is alloc
+        assert method.call_site(20) is call
+        assert alloc.location == ("C", "m", 10)
+        assert call.location == ("C", "m", 20)
+
+    def test_missing_sites_are_none(self):
+        method = MethodModel("C", "m")
+        assert method.alloc_site(99) is None
+        assert method.call_site(99) is None
+
+    def test_duplicate_alloc_line_rejected(self):
+        method = MethodModel("C", "m")
+        method.add_alloc_site(10)
+        with pytest.raises(ValueError):
+            method.add_alloc_site(10)
+
+    def test_duplicate_call_line_rejected(self):
+        method = MethodModel("C", "m")
+        method.add_call_site(10)
+        with pytest.raises(ValueError):
+            method.add_call_site(10)
+
+    def test_copy_is_deep(self):
+        method = MethodModel("C", "m")
+        method.add_alloc_site(10)
+        clone = method.copy()
+        clone.alloc_site(10).gen_annotated = True
+        assert not method.alloc_site(10).gen_annotated
+
+
+class TestClassModel:
+    def test_methods(self):
+        model = ClassModel("C")
+        method = model.add_method("m")
+        assert model.method("m") is method
+        assert model.get_method("missing") is None
+
+    def test_duplicate_method_rejected(self):
+        model = ClassModel("C")
+        model.add_method("m")
+        with pytest.raises(ValueError):
+            model.add_method("m")
+
+    def test_iter_sites(self):
+        model = ClassModel("C")
+        m1 = model.add_method("a")
+        m1.add_alloc_site(1)
+        m1.add_call_site(2)
+        m2 = model.add_method("b")
+        m2.add_alloc_site(3)
+        assert len(list(model.iter_alloc_sites())) == 2
+        assert len(list(model.iter_call_sites())) == 1
+
+    def test_copy_is_independent(self):
+        model = ClassModel("C")
+        model.add_method("m").add_alloc_site(1)
+        clone = model.copy()
+        clone.method("m").alloc_site(1).record_hook = True
+        assert not model.method("m").alloc_site(1).record_hook
+
+
+class TestSiteRegistry:
+    def test_site_interning(self):
+        registry = SiteRegistry()
+        sid = registry.site_id(("C", "m", 10))
+        assert registry.site_id(("C", "m", 10)) == sid
+        assert registry.site_id(("C", "m", 11)) != sid
+        assert registry.site_location(sid) == ("C", "m", 10)
+        assert registry.site_count == 2
+
+    def test_trace_interning(self):
+        registry = SiteRegistry()
+        trace = (("A", "a", 1), ("B", "b", 2))
+        tid = registry.trace_id(trace)
+        assert registry.trace_id(trace) == tid
+        assert registry.trace(tid) == trace
+        assert registry.trace_count == 1
+
+
+class TestDirectiveFields:
+    def test_alloc_site_defaults(self):
+        site = AllocSite("C", "m", 1)
+        assert not site.gen_annotated
+        assert site.pre_set_gen is None
+        assert not site.record_hook
+
+    def test_call_site_defaults(self):
+        call = CallSite("C", "m", 1)
+        assert call.target_generation is None

@@ -1,0 +1,49 @@
+"""Unit tests for the snapshot store."""
+
+import pytest
+
+from repro.snapshot.snapshot import Snapshot, SnapshotStore
+
+
+def snap(seq: int, time_ms: float, size: int = 4096) -> Snapshot:
+    return Snapshot(
+        seq=seq,
+        time_ms=time_ms,
+        engine="test",
+        pages_written=size // 4096,
+        size_bytes=size,
+        duration_us=100.0,
+        live_object_ids=frozenset({seq}),
+    )
+
+
+class TestSnapshotStore:
+    def test_append_and_index(self):
+        store = SnapshotStore()
+        store.append(snap(1, 0.0))
+        store.append(snap(2, 1.0))
+        assert len(store) == 2
+        assert store[0].seq == 1
+        assert [s.seq for s in store] == [1, 2]
+
+    def test_rejects_out_of_order(self):
+        store = SnapshotStore()
+        store.append(snap(1, 5.0))
+        with pytest.raises(ValueError):
+            store.append(snap(2, 1.0))
+
+    def test_aggregates(self):
+        store = SnapshotStore()
+        store.append(snap(1, 0.0, size=4096))
+        store.append(snap(2, 1.0, size=8192))
+        assert store.total_bytes() == 12288
+        assert store.sizes_bytes() == [4096, 8192]
+        assert store.total_duration_us() == 200.0
+        assert store.durations_us() == [100.0, 100.0]
+
+    def test_snapshots_returns_copy(self):
+        store = SnapshotStore()
+        store.append(snap(1, 0.0))
+        listing = store.snapshots
+        listing.clear()
+        assert len(store) == 1

@@ -1,0 +1,96 @@
+"""Unit tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import build_parser, main
+
+
+class TestParser:
+    def test_workloads_command(self, capsys):
+        assert main(["workloads"]) == 0
+        out = capsys.readouterr().out
+        assert "cassandra-wi" in out
+        assert "graphchi-pr" in out
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["profile", "spark"])
+
+    def test_strategy_choices(self):
+        args = build_parser().parse_args(
+            ["run", "lucene", "--strategy", "g1", "--duration-ms", "5"]
+        )
+        assert args.strategy == "g1"
+        assert args.duration_ms == 5.0
+
+
+class TestProfileCommand:
+    def test_profile_roundtrip(self, tmp_path, capsys):
+        out_path = str(tmp_path / "p.json")
+        code = main(
+            [
+                "profile",
+                "cassandra-wi",
+                "-o",
+                out_path,
+                "--duration-ms",
+                "4000",
+            ]
+        )
+        assert code == 0
+        from repro import AllocationProfile
+
+        profile = AllocationProfile.load(out_path)
+        assert profile.workload == "cassandra-wi"
+
+
+class TestRunCommand:
+    def test_run_baseline(self, capsys):
+        code = main(
+            [
+                "run",
+                "graphchi-pr",
+                "--strategy",
+                "g1",
+                "--duration-ms",
+                "4000",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "throughput" in out
+        assert "peak memory" in out
+
+    def test_run_polm2_with_saved_profile(self, tmp_path, capsys):
+        out_path = str(tmp_path / "p.json")
+        main(["profile", "graphchi-pr", "-o", out_path, "--duration-ms", "4000"])
+        code = main(
+            [
+                "run",
+                "graphchi-pr",
+                "--profile",
+                out_path,
+                "--duration-ms",
+                "4000",
+            ]
+        )
+        assert code == 0
+        assert "pause times" in capsys.readouterr().out
+
+
+class TestRecordAnalyzeCommands:
+    def test_record_then_analyze(self, tmp_path, capsys):
+        rec_dir = str(tmp_path / "rec")
+        assert main(
+            ["record", "graphchi-pr", "-o", rec_dir, "--duration-ms", "4000"]
+        ) == 0
+        out_path = str(tmp_path / "p.json")
+        assert main(["analyze", rec_dir, "-o", out_path]) == 0
+        from repro import AllocationProfile
+
+        profile = AllocationProfile.load(out_path)
+        assert profile.workload == "graphchi-pr"

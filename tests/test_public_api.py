@@ -1,0 +1,83 @@
+"""The public API surface: everything README/examples rely on exists."""
+
+import importlib
+
+import pytest
+
+import repro
+
+
+class TestTopLevelExports:
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    @pytest.mark.parametrize(
+        "module",
+        [
+            "repro.config",
+            "repro.errors",
+            "repro.heap",
+            "repro.runtime",
+            "repro.gc",
+            "repro.gc.gclog",
+            "repro.gc.binary",
+            "repro.snapshot",
+            "repro.core",
+            "repro.core.offline",
+            "repro.core.profilestore",
+            "repro.core.exact_tracer",
+            "repro.workloads",
+            "repro.workloads.ycsb",
+            "repro.metrics",
+            "repro.metrics.report",
+            "repro.experiments",
+            "repro.experiments.ablations",
+            "repro.experiments.demographics",
+            "repro.experiments.profiler_overhead",
+            "repro.__main__",
+        ],
+    )
+    def test_submodules_importable(self, module):
+        importlib.import_module(module)
+
+    def test_quickstart_surface(self):
+        """The exact names the README quickstart uses."""
+        pipeline = repro.POLM2Pipeline(
+            lambda: repro.make_workload("cassandra-wi")
+        )
+        assert hasattr(pipeline, "run_profiling_phase")
+        assert hasattr(pipeline, "run_production_phase")
+        assert hasattr(pipeline, "run_baseline")
+
+    def test_workload_names_match_paper(self):
+        assert len(repro.WORKLOAD_NAMES) == 6
+
+    def test_collectors_exported(self):
+        assert repro.G1Collector().name == "G1"
+        assert repro.NG2CCollector().name == "NG2C"
+        assert repro.C4Collector().name == "C4"
+
+
+class TestDocumentationArtifacts:
+    @pytest.mark.parametrize(
+        "path",
+        ["README.md", "DESIGN.md", "EXPERIMENTS.md", "docs/architecture.md",
+         "docs/calibration.md"],
+    )
+    def test_docs_exist(self, path):
+        import os
+
+        root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        assert os.path.exists(os.path.join(root, path)), path
+
+    def test_examples_exist(self):
+        import os
+
+        root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        examples = os.listdir(os.path.join(root, "examples"))
+        assert "quickstart.py" in examples
+        assert len([e for e in examples if e.endswith(".py")]) >= 4

@@ -1,0 +1,170 @@
+"""Unit tests for the mini Cassandra store's lifetime structure."""
+
+import pytest
+
+from repro.config import SimConfig
+from repro.gc.ng2c import NG2CCollector
+from repro.runtime.vm import VM
+from repro.workloads.cassandra.store import CassandraParams, CassandraStore
+from repro.workloads.cassandra.workload import CassandraWorkload
+from repro.workloads.cassandra import codemodel as cm
+
+
+def small_params() -> CassandraParams:
+    return CassandraParams(
+        flush_threshold_bytes=256 * 1024,
+        row_cache_capacity_bytes=128 * 1024,
+        key_cache_capacity_bytes=32 * 1024,
+        max_sstables=3,
+        key_space=5000,
+    )
+
+
+@pytest.fixture
+def store():
+    vm = VM(SimConfig.small(), collector=NG2CCollector())
+    workload = CassandraWorkload(mix="wi", params=small_params(), seed=1)
+    for model in workload.class_models():
+        vm.classloader.load(model)
+    workload.setup(vm)
+    return workload, workload.store, vm
+
+
+def run_entry(store, fn, count=1):
+    with store.thread.entry(cm.STORAGE_PROXY, "process"):
+        for _ in range(count):
+            fn()
+
+
+class TestWritePath:
+    def test_write_grows_memtable(self, store):
+        _, s, vm = store
+        run_entry(s, s.write, count=10)
+        assert s.memtable_rows == 10
+        assert s.memtable_bytes > 0
+        assert len(s.memtable_obj.refs) == 20  # row + index clone per write
+
+    def test_memtable_rows_reachable(self, store):
+        _, s, vm = store
+        run_entry(s, s.write, count=5)
+        live = vm.heap.trace_live(vm.iter_roots())
+        # 5 writes: row + cells + index entry + clone + record + buffer.
+        assert len(live) >= 5 * 6
+
+
+class TestFlush:
+    def test_flush_triggered_by_threshold(self, store):
+        _, s, vm = store
+        writes = 0
+        while s.flush_count == 0:
+            run_entry(s, s.write, count=20)
+            writes += 20
+            assert writes < 10_000
+        assert s.memtable_rows < writes
+
+    def test_flush_kills_memtable_and_commitlog(self, store):
+        _, s, vm = store
+        run_entry(s, s.write, count=10)
+        old_memtable_rows = [r.object_id for r in s.memtable_obj.refs]
+        while s.flush_count == 0:
+            run_entry(s, s.write, count=20)
+        live = {o.object_id for o in vm.heap.trace_live(vm.iter_roots())}
+        assert not (set(old_memtable_rows) & live)
+
+    def test_flush_creates_sstable_structures(self, store):
+        _, s, vm = store
+        while s.flush_count == 0:
+            run_entry(s, s.write, count=20)
+        assert len(s.sstables) == 1
+        sstable = s.sstables[0]
+        assert len(sstable.refs) > 2  # index entries + bloom + meta
+
+    def test_sstable_cap_enforced(self, store):
+        _, s, vm = store
+        while s.flush_count < 5:
+            run_entry(s, s.write, count=50)
+        assert len(s.sstables) <= small_params().max_sstables
+
+    def test_flush_listeners_fired(self, store):
+        workload, s, vm = store
+        events = []
+        s.flush_listeners.append(lambda: events.append(1))
+        while s.flush_count == 0:
+            run_entry(s, s.write, count=20)
+        assert events
+
+
+class TestReadPath:
+    def test_read_allocates_young_garbage_only(self, store):
+        _, s, vm = store
+        s.params.cache_fill_probability = 0.0
+        live_before = len(vm.heap.trace_live(vm.iter_roots()))
+        run_entry(s, s.read, count=10)
+        live_after = len(vm.heap.trace_live(vm.iter_roots()))
+        assert live_after == live_before
+
+    def test_cache_fill_and_eviction(self, store):
+        _, s, vm = store
+        s.params.cache_fill_probability = 1.0
+        run_entry(s, s.read, count=800)
+        assert s.row_cache_bytes <= s.params.row_cache_capacity_bytes
+        assert s.key_cache_bytes <= s.params.key_cache_capacity_bytes
+        assert len(s.row_cache) > 0
+
+    def test_cache_hit_skips_fill(self, store):
+        _, s, vm = store
+        s.params.cache_fill_probability = 1.0
+        s.params.key_space = 1  # every read hits the same key
+        run_entry(s, s.read, count=10)
+        assert len(s.row_cache) == 1
+
+
+class TestWorkloadDriver:
+    def test_tick_counts_ops(self, store):
+        workload, s, vm = store
+        assert workload.tick() == workload.ops_per_tick
+        assert vm.ops_completed == workload.ops_per_tick
+
+    def test_mix_fractions(self):
+        from repro.workloads.cassandra.workload import MIX_WRITE_FRACTION
+
+        assert MIX_WRITE_FRACTION["wi"] == 0.75
+        assert MIX_WRITE_FRACTION["wr"] == 0.50
+        assert MIX_WRITE_FRACTION["ri"] == 0.25
+
+    def test_unknown_mix_rejected(self):
+        from repro.errors import WorkloadError
+
+        with pytest.raises(WorkloadError):
+            CassandraWorkload(mix="zz")
+
+    def test_multiple_mutation_stage_threads(self):
+        from repro.config import SimConfig
+        from repro.gc.ng2c import NG2CCollector
+        from repro.runtime.vm import VM
+
+        vm = VM(SimConfig.small(), collector=NG2CCollector())
+        workload = CassandraWorkload(
+            mix="wi", params=small_params(), seed=1, thread_count=3
+        )
+        for model in workload.class_models():
+            vm.classloader.load(model)
+        workload.setup(vm)
+        assert len(vm.threads) == 3
+        workload.tick()
+        # Work is spread across the stage threads.
+        assert vm.ops_completed >= 3
+
+    def test_invalid_thread_count(self):
+        from repro.errors import WorkloadError
+
+        with pytest.raises(WorkloadError):
+            CassandraWorkload(thread_count=0)
+
+    def test_zipfian_keys_skewed(self, store):
+        _, s, vm = store
+        keys = [s.sample_key() for _ in range(2000)]
+        low = sum(1 for k in keys if k < s.params.key_space // 100)
+        # YCSB zipfian (theta=0.99): the hottest 1% of keys receives far
+        # more than the 1% of traffic a uniform distribution would give.
+        assert low > len(keys) // 4

@@ -1,0 +1,122 @@
+"""Unit tests for the mini Lucene index."""
+
+import pytest
+
+from repro.config import SimConfig
+from repro.gc.ng2c import NG2CCollector
+from repro.runtime.vm import VM
+from repro.workloads.lucene import codemodel as cm
+from repro.workloads.lucene.index import LuceneParams
+from repro.workloads.lucene.workload import LuceneWorkload
+
+
+def small_params() -> LuceneParams:
+    return LuceneParams(
+        ram_buffer_bytes=64 * 1024,
+        merge_factor=3,
+        max_segment_bytes=256 * 1024,
+    )
+
+
+@pytest.fixture
+def index():
+    vm = VM(SimConfig.small(), collector=NG2CCollector())
+    workload = LuceneWorkload(params=small_params(), seed=1)
+    for model in workload.class_models():
+        vm.classloader.load(model)
+    workload.setup(vm)
+    return workload, workload.index, vm
+
+
+def add_docs(idx, count):
+    for _ in range(count):
+        with idx.thread.entry(cm.INDEX_WRITER, "addDocument"):
+            idx.add_document()
+
+
+class TestIndexing:
+    def test_documents_grow_ram_buffer(self, index):
+        _, idx, vm = index
+        add_docs(idx, 5)
+        assert idx.docs_in_ram == 5
+        assert idx.ram_bytes > 0
+        assert idx.docs_indexed == 5
+
+    def test_ram_buffer_flush(self, index):
+        _, idx, vm = index
+        docs = 0
+        while idx.flush_count == 0:
+            add_docs(idx, 10)
+            docs += 10
+            assert docs < 5000
+        assert idx.ram_bytes < small_params().ram_buffer_bytes
+        assert len(idx.segments) >= 1
+
+    def test_flushed_ram_buffer_dies(self, index):
+        _, idx, vm = index
+        add_docs(idx, 3)
+        old_entries = [o.object_id for o in idx.ram_holder.refs]
+        while idx.flush_count == 0:
+            add_docs(idx, 10)
+        live = {o.object_id for o in vm.heap.trace_live(vm.iter_roots())}
+        assert not (set(old_entries) & live)
+
+    def test_segments_reachable(self, index):
+        _, idx, vm = index
+        while idx.flush_count == 0:
+            add_docs(idx, 10)
+        segment, size, merged = idx.segments[0]
+        live = {o.object_id for o in vm.heap.trace_live(vm.iter_roots())}
+        assert segment.object_id in live
+        assert all(ref.object_id in live for ref in segment.refs)
+        assert not merged
+
+
+class TestMerging:
+    def test_merge_reduces_segment_count(self, index):
+        _, idx, vm = index
+        while idx.merge_count == 0:
+            add_docs(idx, 20)
+        small = [m for (_, _, m) in idx.segments if not m]
+        assert len(small) < small_params().merge_factor
+
+    def test_merged_inputs_die(self, index):
+        _, idx, vm = index
+        ever_created = set()
+        while idx.merge_count == 0:
+            add_docs(idx, 10)
+            ever_created |= {seg.object_id for (seg, _, _) in idx.segments}
+        live = {o.object_id for o in vm.heap.trace_live(vm.iter_roots())}
+        current = {seg.object_id for (seg, _, _) in idx.segments}
+        dead_inputs = ever_created - current
+        assert dead_inputs
+        assert not (dead_inputs & live)
+
+    def test_segment_byte_cap(self, index):
+        _, idx, vm = index
+        for _ in range(40):
+            add_docs(idx, 25)
+        assert idx.segment_bytes_total <= small_params().max_segment_bytes * 2
+
+
+class TestSearch:
+    def test_search_is_young_only(self, index):
+        _, idx, vm = index
+        live_before = len(vm.heap.trace_live(vm.iter_roots()))
+        for _ in range(10):
+            with idx.thread.entry(cm.SEARCHER, "search"):
+                idx.search()
+        assert idx.searches == 10
+        live_after = len(vm.heap.trace_live(vm.iter_roots()))
+        assert live_after == live_before
+
+
+class TestDriver:
+    def test_tick_mixes_reads_and_writes(self, index):
+        workload, idx, vm = index
+        total = sum(workload.tick() for _ in range(6))
+        assert total == 6 * workload.ops_per_tick
+        assert idx.docs_indexed > 0
+        assert idx.searches > 0
+        # write:search ratio ~4:1
+        assert idx.docs_indexed > idx.searches

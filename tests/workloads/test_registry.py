@@ -1,0 +1,36 @@
+"""Unit tests for the workload registry."""
+
+import pytest
+
+from repro.errors import UnknownWorkloadError
+from repro.workloads import WORKLOAD_NAMES, make_workload
+
+
+class TestRegistry:
+    def test_all_paper_workloads_present(self):
+        assert set(WORKLOAD_NAMES) == {
+            "cassandra-wi",
+            "cassandra-wr",
+            "cassandra-ri",
+            "lucene",
+            "graphchi-cc",
+            "graphchi-pr",
+        }
+
+    @pytest.mark.parametrize("name", WORKLOAD_NAMES)
+    def test_factories_produce_named_workloads(self, name):
+        workload = make_workload(name, seed=7)
+        assert workload.name == name
+        assert workload.class_models()
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(UnknownWorkloadError):
+            make_workload("spark")
+
+    @pytest.mark.parametrize("name", WORKLOAD_NAMES)
+    def test_every_workload_has_manual_baseline(self, name):
+        strategy = make_workload(name, seed=7).manual_ng2c()
+        assert strategy is not None
+        assert strategy.alloc_directives
+        profile = strategy.as_profile(name)
+        assert profile.instrumented_site_count > 0

@@ -1,0 +1,104 @@
+"""Unit tests for the YCSB operation generator."""
+
+import collections
+
+import pytest
+
+from repro.workloads.ycsb import (
+    READ,
+    STANDARD_WORKLOADS,
+    WRITE,
+    YCSBConfig,
+    YCSBGenerator,
+    ZipfianGenerator,
+)
+
+
+class TestZipfian:
+    def test_range(self):
+        gen = ZipfianGenerator(1000, seed=1)
+        keys = [gen.next() for _ in range(5000)]
+        assert all(0 <= k < 1000 for k in keys)
+
+    def test_head_heavy(self):
+        gen = ZipfianGenerator(10_000, seed=1)
+        keys = [gen.next() for _ in range(20_000)]
+        head = sum(1 for k in keys if k < 100)  # top 1% of keys
+        # Zipfian theta=0.99: the head gets a large share of traffic.
+        assert head > len(keys) * 0.3
+
+    def test_deterministic(self):
+        a = [ZipfianGenerator(100, seed=9).next() for _ in range(50)]
+        b = [ZipfianGenerator(100, seed=9).next() for _ in range(50)]
+        assert a == b
+
+    def test_large_keyspace_construction_fast(self):
+        gen = ZipfianGenerator(50_000_000, seed=1)
+        assert 0 <= gen.next() < 50_000_000
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            ZipfianGenerator(0)
+        with pytest.raises(ValueError):
+            ZipfianGenerator(10, theta=1.0)
+
+
+class TestYCSBConfig:
+    def test_standard_letters(self):
+        for letter in STANDARD_WORKLOADS:
+            config = YCSBConfig.standard(letter)
+            assert 0.0 <= config.read_fraction <= 1.0
+
+    def test_workload_b_read_mostly(self):
+        assert YCSBConfig.standard("b").read_fraction == 0.95
+
+    def test_unknown_letter(self):
+        with pytest.raises(ValueError):
+            YCSBConfig.standard("z")
+
+
+class TestYCSBGenerator:
+    def test_mix_fractions(self):
+        gen = YCSBGenerator(YCSBConfig(read_fraction=0.75, seed=3))
+        ops = collections.Counter(gen.next_op()[0] for _ in range(4000))
+        read_share = ops[READ] / 4000
+        assert 0.70 < read_share < 0.80
+
+    def test_read_only(self):
+        gen = YCSBGenerator(YCSBConfig(read_fraction=1.0, seed=3))
+        assert all(gen.next_op()[0] == READ for _ in range(100))
+
+    def test_uniform_distribution(self):
+        gen = YCSBGenerator(
+            YCSBConfig(distribution="uniform", item_count=1000, seed=3)
+        )
+        keys = [gen.next_key() for _ in range(5000)]
+        head = sum(1 for k in keys if k < 100)
+        assert abs(head - 500) < 150  # ~10% of traffic to 10% of keys
+
+    def test_latest_distribution_tracks_inserts(self):
+        gen = YCSBGenerator(
+            YCSBConfig(
+                distribution="latest",
+                item_count=1000,
+                read_fraction=0.5,
+                seed=3,
+            )
+        )
+        for _ in range(500):
+            gen.next_op()
+        assert gen.insert_cursor > 1000
+        keys = [gen.next_key() for _ in range(2000)]
+        recent = sum(1 for k in keys if k > gen.insert_cursor - 200)
+        assert recent > len(keys) * 0.3
+
+    def test_iterator_protocol(self):
+        gen = YCSBGenerator(YCSBConfig(seed=3))
+        stream = iter(gen)
+        op, key = next(stream)
+        assert op in (READ, WRITE)
+        assert isinstance(key, int)
+
+    def test_invalid_distribution(self):
+        with pytest.raises(ValueError):
+            YCSBGenerator(YCSBConfig(distribution="pareto"))
