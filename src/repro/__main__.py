@@ -18,6 +18,7 @@ Commands:
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 from repro import AllocationProfile, POLM2Pipeline, WORKLOAD_NAMES, make_workload
@@ -96,11 +97,17 @@ def cmd_run(args) -> int:
 def cmd_evaluate(args) -> int:
     from repro.metrics.report import full_report
 
-    runner = ExperimentRunner(
-        ExperimentSettings(
-            profiling_ms=args.profiling_ms, production_ms=args.duration_ms
-        )
+    settings = ExperimentSettings(
+        profiling_ms=args.profiling_ms,
+        production_ms=args.duration_ms,
+        jobs=args.jobs,
+        cache_dir=None if args.no_cache else args.cache_dir,
     )
+    runner = ExperimentRunner(settings)
+    if settings.jobs > 1:
+        # Fill the whole matrix in parallel first; the figure modules
+        # then aggregate from warm in-memory cells.
+        runner.full_matrix(jobs=settings.jobs)
     print(full_report(runner))
     return 0
 
@@ -147,6 +154,24 @@ def build_parser() -> argparse.ArgumentParser:
     p_eval = sub.add_parser("evaluate", help="regenerate all tables/figures")
     p_eval.add_argument("--duration-ms", type=float, default=60_000.0)
     p_eval.add_argument("--profiling-ms", type=float, default=30_000.0)
+    p_eval.add_argument(
+        "--jobs",
+        type=int,
+        default=int(os.environ.get("REPRO_JOBS", 1)),
+        help="worker processes for the experiment matrix "
+        "(default: $REPRO_JOBS or 1)",
+    )
+    p_eval.add_argument(
+        "--cache-dir",
+        default=os.environ.get("REPRO_CACHE_DIR", ".repro_cache"),
+        help="on-disk result cache location (default: $REPRO_CACHE_DIR "
+        "or .repro_cache)",
+    )
+    p_eval.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the on-disk result cache",
+    )
     p_eval.set_defaults(func=cmd_evaluate)
     return parser
 

@@ -196,6 +196,15 @@ class SimConfig:
         if self.pause_goal_ms is not None and self.pause_goal_ms <= 0:
             raise ValueError("pause_goal_ms must be positive when set")
 
+    def fingerprint(self) -> dict:
+        """JSON-safe payload of every knob (cost model included).
+
+        The experiment runner hashes this into its on-disk result-cache
+        key, so any configuration change — even a single cost constant —
+        invalidates previously cached cells.
+        """
+        return dataclasses.asdict(self)
+
     @classmethod
     def small(cls, **overrides) -> "SimConfig":
         """A small configuration for unit tests: 8 MiB heap, 1 MiB young."""

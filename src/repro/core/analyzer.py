@@ -89,7 +89,16 @@ def survival_to_generation(survival: int, max_generations: int) -> int:
 
 
 class Analyzer:
-    """Runs the bucket algorithm and produces the allocation profile."""
+    """Runs the bucket algorithm and produces the allocation profile.
+
+    Invalidation contract: the Analyzer treats ``records`` and
+    ``snapshots`` as frozen once constructed.  ``survival_counts()``,
+    ``distributions()``, and ``estimate_generations()`` are memoized on
+    first call (``build_profile()`` and ``site_report()`` each consume
+    them several times); mutating the inputs afterwards will NOT be
+    reflected — construct a fresh Analyzer instead.  The memoized dicts
+    are returned as-is, so callers must not mutate them either.
+    """
 
     def __init__(
         self,
@@ -104,19 +113,129 @@ class Analyzer:
         self.snapshots = sorted(snapshots, key=lambda s: s.time_ms)
         self.max_generations = max_generations
         self.min_samples = min_samples
+        self._survival_counts: Optional[Dict[int, int]] = None
+        self._counts_raw: Optional[Dict[int, int]] = None
+        self._distributions: Optional[Dict[int, LifetimeDistribution]] = None
+        self._estimates: Optional[Dict[int, int]] = None
+        self._recorded: Optional[set] = None
+        #: max id live in the final snapshot, computed for free by the
+        #: delta fast path; ``...`` means "not computed yet".
+        self._final_live_max: object = ...
 
     # -- bucket algorithm -----------------------------------------------------------
 
-    def survival_counts(self) -> Dict[int, int]:
-        """Number of snapshots each recorded object id appears live in."""
-        recorded: set = set()
-        for stream in self.records.streams.values():
-            recorded.update(stream)
+    def _recorded_ids(self) -> set:
+        if self._recorded is None:
+            recorded: set = set()
+            for stream in self.records.streams.values():
+                recorded.update(stream)
+            self._recorded = recorded
+        return self._recorded
+
+    def _has_delta_chain(self) -> bool:
+        """True when the snapshots form one decodable delta chain.
+
+        The first snapshot may be full (CRIU's initial image) or a delta
+        over the empty heap; every later one must be a delta chained to
+        the snapshot right before it in time order.
+        """
+        if not self.snapshots:
+            return False
+        first = self.snapshots[0]
+        if first.is_delta and first.predecessor is not None:
+            return False
+        previous = first
+        for snapshot in self.snapshots[1:]:
+            if not snapshot.is_delta or snapshot.predecessor is not previous:
+                return False
+            previous = snapshot
+        return True
+
+    def _survival_counts_delta(self) -> Dict[int, int]:
+        """Single pass over the delta chain: each id's survival count is
+        the number of snapshots between its birth and its death —
+        O(ids + deltas) instead of O(snapshots × live).
+
+        Ids are tracked as per-birth-index *cohorts* so the inner work is
+        set algebra (C speed) rather than per-id Python loops: deaths are
+        peeled off each cohort with one intersection per (snapshot,
+        cohort) pair, and counts land via bulk ``dict.fromkeys`` merges.
+        Resurrected ids (dead then born again) are the rare slow path.
+        Returns counts for *all* observed ids; ``survival_counts()``
+        narrows to recorded ones.
+        """
+        counts: Dict[int, int] = {}
+
+        def credit(ids, amount: int) -> None:
+            # counts[oid] += amount for every id, bulk-merging the common
+            # first-interval case and looping only over resurrections.
+            seen = counts.keys() & ids
+            if seen:
+                for object_id in seen:
+                    counts[object_id] += amount
+                ids = set(ids) - seen
+            counts.update(dict.fromkeys(ids, amount))
+
+        #: birth index -> ids born there and still alive.
+        cohorts: Dict[int, set] = {}
+        for index, snapshot in enumerate(self.snapshots):
+            if snapshot.is_delta:
+                born, dead = snapshot.born_ids, snapshot.dead_ids
+            else:  # the full first image: everything is newly visible
+                born, dead = snapshot.live_object_ids, frozenset()
+            if dead:
+                for birth in list(cohorts):
+                    cohort = cohorts[birth]
+                    died = cohort & dead
+                    if died:
+                        cohort -= died
+                        if not cohort:
+                            del cohorts[birth]
+                        credit(died, index - birth)
+            if born:
+                cohorts[index] = set(born)
+        total = len(self.snapshots)
+        final_live_max = None
+        for birth, cohort in cohorts.items():
+            cohort_max = max(cohort)
+            if final_live_max is None or cohort_max > final_live_max:
+                final_live_max = cohort_max
+            credit(cohort, total - birth)
+        self._final_live_max = final_live_max
+        return counts
+
+    def _survival_counts_intersection(self) -> Dict[int, int]:
+        """Fallback for arbitrary (non-chained) snapshot sequences:
+        per-snapshot set intersections against the recorded ids."""
+        recorded = self._recorded_ids()
         counts: Dict[int, int] = collections.defaultdict(int)
         for snapshot in self.snapshots:
             for object_id in snapshot.live_object_ids & recorded:
                 counts[object_id] += 1
-        return counts
+        return dict(counts)
+
+    def _counts_all(self) -> Dict[int, int]:
+        """Memoized survival counts, possibly including unrecorded ids
+        (the delta fast path does not pay for narrowing; consumers use
+        ``.get(object_id, 0)`` keyed by recorded ids anyway)."""
+        if self._counts_raw is None:
+            if self._has_delta_chain():
+                self._counts_raw = self._survival_counts_delta()
+            else:
+                self._counts_raw = self._survival_counts_intersection()
+        return self._counts_raw
+
+    def survival_counts(self) -> Dict[int, int]:
+        """Number of snapshots each recorded object id appears live in
+        (memoized; see the class invalidation contract)."""
+        if self._survival_counts is None:
+            counts = self._counts_all()
+            recorded = self._recorded_ids()
+            self._survival_counts = {
+                object_id: counts[object_id]
+                for object_id in recorded.intersection(counts.keys())
+            }
+        return self._survival_counts
 
     def _id_cutoff(self) -> Optional[int]:
         """Ids allocated after the last snapshot carry no lifetime signal.
@@ -127,14 +246,20 @@ class Analyzer:
         """
         if not self.snapshots:
             return None
+        if self._final_live_max is not ...:
+            # The delta fast path already knows the final live-set's max
+            # without materializing the full set.
+            return self._final_live_max  # type: ignore[return-value]
         last = self.snapshots[-1]
         if not last.live_object_ids:
             return None
         return max(last.live_object_ids)
 
     def distributions(self) -> Dict[int, LifetimeDistribution]:
-        """Per-trace survival histograms."""
-        counts = self.survival_counts()
+        """Per-trace survival histograms (memoized)."""
+        if self._distributions is not None:
+            return self._distributions
+        counts = self._counts_all()
         cutoff = self._id_cutoff()
         result: Dict[int, LifetimeDistribution] = {}
         for trace_id, stream in self.records.streams.items():
@@ -145,18 +270,24 @@ class Analyzer:
                 buckets[counts.get(object_id, 0)] += 1
             if buckets:
                 result[trace_id] = LifetimeDistribution(trace_id, dict(buckets))
+        self._distributions = result
         return result
 
     # -- generation estimation -----------------------------------------------------------
 
     def estimate_generations(self) -> Dict[int, int]:
-        """Per-trace estimated generation index (0 = leave in young)."""
+        """Per-trace estimated generation index (0 = leave in young);
+        memoized — ``build_profile()`` and ``site_report()`` both consume
+        it without recomputing the underlying distributions."""
+        if self._estimates is not None:
+            return self._estimates
         estimates: Dict[int, int] = {}
         for trace_id, dist in self.distributions().items():
             if dist.sample_count < self.min_samples:
                 estimates[trace_id] = 0
                 continue
             estimates[trace_id] = dist.mode_generation(self.max_generations)
+        self._estimates = estimates
         return estimates
 
     # -- reporting ----------------------------------------------------------------------

@@ -23,9 +23,14 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 class Dumper:
     """Creates incremental memory snapshots of the profiled VM."""
 
-    def __init__(self, vm: "VM", store: Optional[SnapshotStore] = None) -> None:
+    def __init__(
+        self,
+        vm: "VM",
+        store: Optional[SnapshotStore] = None,
+        delta_encode: bool = True,
+    ) -> None:
         self.vm = vm
-        self.engine = CRIUEngine(vm.config.costs)
+        self.engine = CRIUEngine(vm.config.costs, delta_encode=delta_encode)
         # NOTE: an explicit identity check — a freshly created store is
         # empty and therefore falsy, so ``store or SnapshotStore()`` would
         # silently discard a caller-provided store.

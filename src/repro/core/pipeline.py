@@ -19,7 +19,8 @@ paper's tables and figures.
 from __future__ import annotations
 
 import dataclasses
-from typing import Callable, List, Optional
+import json
+from typing import Callable, Dict, List, Optional
 
 from repro.config import SimConfig
 from repro.core.analyzer import Analyzer
@@ -77,6 +78,62 @@ class PhaseResult:
         return percentile_table(
             {self.strategy: self.pause_durations_ms()},
             title=f"{self.workload} pause times (ms)",
+        )
+
+    # -- serialization (the experiment runner's on-disk result cache) -----------
+    # JSON keeps floats via repr round-tripping, so load(save(r)) is
+    # value-identical to r — the cache parity tests rely on this.
+
+    def to_dict(self) -> Dict:
+        return {
+            "strategy": self.strategy,
+            "workload": self.workload,
+            "collector_name": self.collector_name,
+            "duration_ms": self.duration_ms,
+            "ops_completed": self.ops_completed,
+            "pauses": [dataclasses.asdict(p) for p in self.pauses],
+            "peak_memory_bytes": self.peak_memory_bytes,
+            "set_generation_calls": self.set_generation_calls,
+            "throughput_timeline": list(self.throughput_timeline),
+            "snapshots": (
+                None
+                if self.snapshots is None
+                else [s.to_dict() for s in self.snapshots]
+            ),
+            "profile": (
+                None
+                if self.profile is None
+                else json.loads(self.profile.to_json())
+            ),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict) -> "PhaseResult":
+        from repro.snapshot.snapshot import Snapshot
+
+        snapshots = None
+        if payload.get("snapshots") is not None:
+            snapshots = SnapshotStore()
+            previous: Optional[Snapshot] = None
+            for snap_payload in payload["snapshots"]:
+                snapshot = Snapshot.from_dict(snap_payload, predecessor=previous)
+                snapshots.append(snapshot)
+                previous = snapshot
+        profile = None
+        if payload.get("profile") is not None:
+            profile = AllocationProfile.from_json(json.dumps(payload["profile"]))
+        return cls(
+            strategy=payload["strategy"],
+            workload=payload["workload"],
+            collector_name=payload["collector_name"],
+            duration_ms=float(payload["duration_ms"]),
+            ops_completed=int(payload["ops_completed"]),
+            pauses=[GCPause(**p) for p in payload["pauses"]],
+            peak_memory_bytes=int(payload["peak_memory_bytes"]),
+            set_generation_calls=int(payload["set_generation_calls"]),
+            throughput_timeline=[float(v) for v in payload["throughput_timeline"]],
+            snapshots=snapshots,
+            profile=profile,
         )
 
 

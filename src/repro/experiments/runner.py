@@ -5,16 +5,36 @@ C4} runs; Table 1 consumes the profiling phases.  The runner executes
 each cell once and caches it, so regenerating every figure costs one pass
 over the matrix.
 
+Three performance layers sit on top of the straightforward serial pass:
+
+* **in-memory memoization** — each cell is computed once per runner
+  (unchanged from the original design);
+* **on-disk result cache** — JSON under ``.repro_cache/`` keyed by a
+  hash of the :class:`SimConfig` fingerprint, the experiment settings,
+  and a content hash of the ``repro`` package sources, so re-running
+  figures after a restart is near-free and any code or config change
+  invalidates stale results;
+* **parallel execution** — ``full_matrix(jobs=N)`` (or ``REPRO_JOBS``)
+  farms independent cells out to a ``ProcessPoolExecutor``: baseline
+  cells and profiling phases run concurrently in a first wave, and each
+  workload's POLM2 production cell is dispatched the moment its
+  profiling phase lands.  Every cell is deterministic (virtual clock,
+  fixed seed), so parallel results are identical to serial ones.
+
 Durations honour two environment variables so CI can run quick smoke
 passes: ``REPRO_PROFILE_MS`` and ``REPRO_PRODUCTION_MS`` (virtual
-milliseconds).
+milliseconds); ``REPRO_JOBS`` and ``REPRO_CACHE_DIR`` configure the
+parallel and cached paths the same way.
 """
 
 from __future__ import annotations
 
+import concurrent.futures
 import dataclasses
+import hashlib
+import json
 import os
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.config import SimConfig
 from repro.core.pipeline import POLM2Pipeline, PhaseResult
@@ -28,14 +48,29 @@ STRATEGIES = ("g1", "ng2c", "polm2", "c4")
 #: its pauses are below 10 ms, paper §5).
 PAUSE_STRATEGIES = ("g1", "ng2c", "polm2")
 
+#: Cache-format version; bump on incompatible PhaseResult layout changes.
+CACHE_FORMAT = "matrix-cache-v1"
+
+#: The pseudo-strategy key the profiling phase is cached under.
+PROFILING_KEY = "polm2-profiling"
+
 
 @dataclasses.dataclass
 class ExperimentSettings:
-    """Durations and seed for a full experiment pass."""
+    """Durations, seed, and performance knobs for a full experiment pass.
+
+    ``jobs`` and ``cache_dir`` affect only *how fast* results are
+    produced, never their values, so they are excluded from the on-disk
+    cache key.
+    """
 
     profiling_ms: float = 30_000.0
     production_ms: float = 60_000.0
     seed: int = 42
+    #: Worker processes for ``full_matrix`` (1 = serial).
+    jobs: int = 1
+    #: Directory of the on-disk result cache (None disables it).
+    cache_dir: Optional[str] = None
 
     @classmethod
     def from_env(cls) -> "ExperimentSettings":
@@ -43,7 +78,128 @@ class ExperimentSettings:
             profiling_ms=float(os.environ.get("REPRO_PROFILE_MS", 30_000)),
             production_ms=float(os.environ.get("REPRO_PRODUCTION_MS", 60_000)),
             seed=int(os.environ.get("REPRO_SEED", 42)),
+            jobs=int(os.environ.get("REPRO_JOBS", 1)),
+            cache_dir=os.environ.get("REPRO_CACHE_DIR") or None,
         )
+
+
+# -- code-version fingerprint ---------------------------------------------------
+
+_code_version_cache: Optional[str] = None
+
+
+def code_version() -> str:
+    """Content hash over every ``repro`` source file (cached per process).
+
+    Part of the result-cache key: editing any module invalidates every
+    cached cell, which is what makes the cache safe to leave on.
+    """
+    global _code_version_cache
+    if _code_version_cache is None:
+        import repro
+
+        digest = hashlib.sha256()
+        package_root = os.path.dirname(os.path.abspath(repro.__file__))
+        for dirpath, dirnames, filenames in sorted(os.walk(package_root)):
+            dirnames.sort()
+            for filename in sorted(filenames):
+                if not filename.endswith(".py"):
+                    continue
+                path = os.path.join(dirpath, filename)
+                digest.update(os.path.relpath(path, package_root).encode())
+                with open(path, "rb") as handle:
+                    digest.update(handle.read())
+        _code_version_cache = digest.hexdigest()
+    return _code_version_cache
+
+
+class MatrixCache:
+    """On-disk JSON cache of :class:`PhaseResult` cells.
+
+    Layout: ``<root>/<key>/<workload>__<strategy>.json`` where ``key``
+    hashes the simulation config, the experiment durations/seed, the
+    cache format, and the package code version.  Cells from stale code
+    or different settings simply live under a different key directory,
+    so no explicit invalidation pass is ever needed.
+    """
+
+    def __init__(
+        self, root: str, config: SimConfig, settings: ExperimentSettings
+    ) -> None:
+        payload = json.dumps(
+            {
+                "format": CACHE_FORMAT,
+                "code": code_version(),
+                "config": config.fingerprint(),
+                "profiling_ms": settings.profiling_ms,
+                "production_ms": settings.production_ms,
+                "seed": settings.seed,
+            },
+            sort_keys=True,
+        )
+        self.key = hashlib.sha256(payload.encode()).hexdigest()[:20]
+        self.dir = os.path.join(root, self.key)
+
+    def _path(self, workload: str, strategy: str) -> str:
+        return os.path.join(self.dir, f"{workload}__{strategy}.json")
+
+    def load(self, workload: str, strategy: str) -> Optional[PhaseResult]:
+        path = self._path(workload, strategy)
+        try:
+            with open(path) as handle:
+                payload = json.load(handle)
+        except (OSError, ValueError):
+            return None
+        try:
+            return PhaseResult.from_dict(payload)
+        except (KeyError, TypeError, ValueError):
+            return None  # corrupt/foreign cell: recompute
+
+    def store(self, workload: str, strategy: str, result: PhaseResult) -> None:
+        os.makedirs(self.dir, exist_ok=True)
+        path = self._path(workload, strategy)
+        tmp = path + ".tmp"
+        with open(tmp, "w") as handle:
+            json.dump(result.to_dict(), handle)
+        os.replace(tmp, path)
+
+
+# -- worker-process entry points ------------------------------------------------
+# Module-level so ProcessPoolExecutor can pickle them.  Each worker
+# builds a fresh pipeline from primitive arguments; the virtual clock
+# makes every cell bit-deterministic, so worker results are identical
+# to what the serial path computes in-process.
+
+
+def _worker_pipeline(workload: str, seed: int) -> POLM2Pipeline:
+    return POLM2Pipeline(
+        workload_factory=lambda w=workload, s=seed: make_workload(w, seed=s),
+        config=SimConfig(seed=seed),
+    )
+
+
+def _run_profiling_cell(
+    workload: str, seed: int, profiling_ms: float
+) -> PhaseResult:
+    keep: List[PhaseResult] = []
+    _worker_pipeline(workload, seed).run_profiling_phase(
+        duration_ms=profiling_ms, keep_result=keep
+    )
+    return keep[0]
+
+
+def _run_production_cell(
+    workload: str,
+    strategy: str,
+    seed: int,
+    production_ms: float,
+    profile_json: Optional[str],
+) -> PhaseResult:
+    pipe = _worker_pipeline(workload, seed)
+    if strategy == "polm2":
+        profile = AllocationProfile.from_json(profile_json)
+        return pipe.run_production_phase(profile, duration_ms=production_ms)
+    return pipe.run_baseline(strategy, duration_ms=production_ms)
 
 
 class ExperimentRunner:
@@ -55,6 +211,13 @@ class ExperimentRunner:
         self._profiles: Dict[str, AllocationProfile] = {}
         self._profiling_results: Dict[str, PhaseResult] = {}
         self._results: Dict[Tuple[str, str], PhaseResult] = {}
+        self._cache: Optional[MatrixCache] = None
+        if self.settings.cache_dir:
+            self._cache = MatrixCache(
+                self.settings.cache_dir,
+                SimConfig(seed=self.settings.seed),
+                self.settings,
+            )
 
     # -- building blocks ---------------------------------------------------------
 
@@ -69,16 +232,27 @@ class ExperimentRunner:
             self._pipelines[workload] = pipe
         return pipe
 
+    def _adopt_profiling_result(self, workload: str, cell: PhaseResult) -> None:
+        self._profiling_results[workload] = cell
+        if cell.profile is not None:
+            self._profiles[workload] = cell.profile
+
     def profile(self, workload: str) -> AllocationProfile:
         """The POLM2 allocation profile for a workload (cached)."""
         prof = self._profiles.get(workload)
         if prof is None:
-            keep: List[PhaseResult] = []
-            prof = self.pipeline(workload).run_profiling_phase(
-                duration_ms=self.settings.profiling_ms, keep_result=keep
-            )
-            self._profiles[workload] = prof
-            self._profiling_results[workload] = keep[0]
+            cell = self._cache_load(workload, PROFILING_KEY)
+            if cell is not None and cell.profile is None:
+                cell = None  # foreign/corrupt cell: recompute
+            if cell is None:
+                keep: List[PhaseResult] = []
+                self.pipeline(workload).run_profiling_phase(
+                    duration_ms=self.settings.profiling_ms, keep_result=keep
+                )
+                cell = keep[0]
+                self._cache_store(workload, PROFILING_KEY, cell)
+            self._adopt_profiling_result(workload, cell)
+            prof = self._profiles[workload]
         return prof
 
     def profiling_result(self, workload: str) -> PhaseResult:
@@ -86,10 +260,30 @@ class ExperimentRunner:
         self.profile(workload)
         return self._profiling_results[workload]
 
+    # -- the on-disk cache --------------------------------------------------------
+
+    def _cache_load(self, workload: str, strategy: str) -> Optional[PhaseResult]:
+        if self._cache is None:
+            return None
+        return self._cache.load(workload, strategy)
+
+    def _cache_store(
+        self, workload: str, strategy: str, cell: PhaseResult
+    ) -> None:
+        if self._cache is not None:
+            self._cache.store(workload, strategy, cell)
+
     def result(self, workload: str, strategy: str) -> PhaseResult:
-        """One production-phase cell of the matrix (cached)."""
+        """One production-phase cell of the matrix (cached).
+
+        Lookup order: in-memory, then the on-disk cache, then compute.
+        A disk hit for a ``polm2`` cell never forces the profiling phase
+        — the cached cell already embeds the profile it was run with.
+        """
         key = (workload, strategy)
         cell = self._results.get(key)
+        if cell is None:
+            cell = self._cache_load(workload, strategy)
         if cell is None:
             pipe = self.pipeline(workload)
             if strategy == "polm2":
@@ -101,24 +295,141 @@ class ExperimentRunner:
                 cell = pipe.run_baseline(
                     strategy, duration_ms=self.settings.production_ms
                 )
-            self._results[key] = cell
+            self._cache_store(workload, strategy, cell)
+        self._results[key] = cell
         return cell
 
     # -- bulk access ----------------------------------------------------------------
 
-    def pause_series(self, workload: str) -> Dict[str, List[float]]:
-        """Pause durations per strategy for one Figure 5/6 panel."""
+    def pause_series(
+        self,
+        workload: str,
+        strategies: Sequence[str] = PAUSE_STRATEGIES,
+    ) -> Dict[str, List[float]]:
+        """Pause durations per strategy for one Figure 5/6 panel.
+
+        Reuses cached cells (memory or disk); restricting ``strategies``
+        to baselines never touches the profiling phase, and a cached
+        ``polm2`` cell is served without recomputing its profile.
+        """
         return {
             strategy.upper(): self.result(workload, strategy).pause_durations_ms()
-            for strategy in PAUSE_STRATEGIES
+            for strategy in strategies
         }
 
-    def full_matrix(self, workloads=WORKLOAD_NAMES, strategies=STRATEGIES):
-        """Force-run every cell; returns {(workload, strategy): result}."""
+    def full_matrix(
+        self,
+        workloads: Sequence[str] = WORKLOAD_NAMES,
+        strategies: Sequence[str] = STRATEGIES,
+        jobs: Optional[int] = None,
+    ) -> Dict[Tuple[str, str], PhaseResult]:
+        """Force-run every cell; returns {(workload, strategy): result}.
+
+        ``jobs`` > 1 executes independent cells in a process pool (the
+        default comes from ``settings.jobs`` / ``REPRO_JOBS``).  Results
+        are identical to the serial pass: every cell is deterministic in
+        (workload, strategy, seed, durations).
+        """
+        jobs = self.settings.jobs if jobs is None else jobs
+        if jobs > 1:
+            self._run_matrix_parallel(workloads, strategies, jobs)
+        else:
+            for workload in workloads:
+                for strategy in strategies:
+                    self.result(workload, strategy)
+        return {
+            (workload, strategy): self._results[(workload, strategy)]
+            for workload in workloads
+            for strategy in strategies
+        }
+
+    # -- parallel execution ----------------------------------------------------------
+
+    def _run_matrix_parallel(
+        self, workloads: Sequence[str], strategies: Sequence[str], jobs: int
+    ) -> None:
+        """Fill ``self._results`` for the requested block using workers.
+
+        Wave structure: baseline cells and profiling phases are submitted
+        immediately; each workload's ``polm2`` cell is submitted as soon
+        as its profiling phase completes (profiles are shipped to the
+        dependent worker as JSON, computed once per workload).
+        """
+        settings = self.settings
+        pending: List[Tuple[str, str]] = []
+        needs_profile: List[str] = []
         for workload in workloads:
             for strategy in strategies:
-                self.result(workload, strategy)
-        return dict(self._results)
+                key = (workload, strategy)
+                if key in self._results:
+                    continue
+                cell = self._cache_load(workload, strategy)
+                if cell is not None:
+                    self._results[key] = cell
+                    continue
+                pending.append(key)
+                if strategy == "polm2" and workload not in needs_profile:
+                    if workload not in self._profiles:
+                        cached = self._cache_load(workload, PROFILING_KEY)
+                        if cached is not None and cached.profile is not None:
+                            self._adopt_profiling_result(workload, cached)
+                        else:
+                            needs_profile.append(workload)
+        if not pending:
+            return
+
+        with concurrent.futures.ProcessPoolExecutor(max_workers=jobs) as pool:
+            futures: Dict[concurrent.futures.Future, Tuple[str, str]] = {}
+            for workload in needs_profile:
+                future = pool.submit(
+                    _run_profiling_cell,
+                    workload,
+                    settings.seed,
+                    settings.profiling_ms,
+                )
+                futures[future] = (workload, PROFILING_KEY)
+            for workload, strategy in pending:
+                if strategy == "polm2" and workload in needs_profile:
+                    continue  # dispatched once the profiling cell lands
+                profile_json = (
+                    self._profiles[workload].to_json()
+                    if strategy == "polm2"
+                    else None
+                )
+                future = pool.submit(
+                    _run_production_cell,
+                    workload,
+                    strategy,
+                    settings.seed,
+                    settings.production_ms,
+                    profile_json,
+                )
+                futures[future] = (workload, strategy)
+
+            while futures:
+                done, _ = concurrent.futures.wait(
+                    futures,
+                    return_when=concurrent.futures.FIRST_COMPLETED,
+                )
+                for future in done:
+                    workload, strategy = futures.pop(future)
+                    cell = future.result()
+                    if strategy == PROFILING_KEY:
+                        self._adopt_profiling_result(workload, cell)
+                        self._cache_store(workload, PROFILING_KEY, cell)
+                        if (workload, "polm2") in pending:
+                            dependent = pool.submit(
+                                _run_production_cell,
+                                workload,
+                                "polm2",
+                                settings.seed,
+                                settings.production_ms,
+                                self._profiles[workload].to_json(),
+                            )
+                            futures[dependent] = (workload, "polm2")
+                    else:
+                        self._results[(workload, strategy)] = cell
+                        self._cache_store(workload, strategy, cell)
 
 
 _default_runner: Optional[ExperimentRunner] = None

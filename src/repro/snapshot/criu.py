@@ -14,7 +14,7 @@ write time are what Figures 3/4 compare against ``jmap``.
 
 from __future__ import annotations
 
-from typing import Iterable
+from typing import FrozenSet, Iterable, Optional
 
 from repro.config import CostModel
 from repro.heap.heap import SimHeap
@@ -23,13 +23,24 @@ from repro.snapshot.snapshot import Snapshot
 
 
 class CRIUEngine:
-    """Incremental checkpointer over the simulated heap's page table."""
+    """Incremental checkpointer over the simulated heap's page table.
+
+    The first checkpoint is a full image; every later one is stored
+    delta-encoded (``born_ids``/``dead_ids`` against its predecessor),
+    mirroring the incremental image directories CRIU leaves on disk.
+    ``delta_encode=False`` restores the legacy full-set representation
+    (every snapshot owns its complete live-set), used by ablations and
+    format-compatibility tests.
+    """
 
     name = "criu"
 
-    def __init__(self, costs: CostModel) -> None:
+    def __init__(self, costs: CostModel, delta_encode: bool = True) -> None:
         self.costs = costs
+        self.delta_encode = delta_encode
         self._seq = 0
+        self._prev_live: Optional[FrozenSet[int]] = None
+        self._prev_snapshot: Optional[Snapshot] = None
 
     def checkpoint(
         self,
@@ -57,16 +68,30 @@ class CRIUEngine:
         # CRIU clears the dirty bits so the next checkpoint is a delta.
         heap.page_table.clear_dirty()
         self._seq += 1
-        return Snapshot(
+        live = frozenset(obj.object_id for obj in live_objects)
+        common = dict(
             seq=self._seq,
             time_ms=time_ms,
             engine=self.name,
             pages_written=len(pages),
             size_bytes=size_bytes,
             duration_us=duration_us,
-            live_object_ids=frozenset(obj.object_id for obj in live_objects),
             incremental=self._seq > 1,
         )
+        if self.delta_encode and self._prev_live is not None:
+            # Logical content mirrors the physical image: only what
+            # changed since the previous checkpoint is stored.
+            snapshot = Snapshot(
+                born_ids=live - self._prev_live,
+                dead_ids=self._prev_live - live,
+                predecessor=self._prev_snapshot,
+                **common,
+            )
+        else:
+            snapshot = Snapshot(live_object_ids=live, **common)
+        self._prev_live = live
+        self._prev_snapshot = snapshot
+        return snapshot
 
     @property
     def checkpoints_taken(self) -> int:

@@ -44,14 +44,23 @@ class JmapDumper:
         live_objects: Iterable[HeapObject],
         time_ms: float,
     ) -> Snapshot:
-        """Produce one full dump of every live object."""
-        live = list(live_objects)
+        """Produce one full dump of every live object.
+
+        jmap has no incremental mode, so the snapshot always carries the
+        complete live-set (never the delta representation CRIU uses) —
+        exactly the redundancy Figures 3/4 charge it for.
+        """
+        live_bytes = 0
+        ids = []
+        for obj in live_objects:
+            live_bytes += obj.size
+            ids.append(obj.object_id)
         size_bytes = int(
-            sum(obj.size * HPROF_EXPANSION + HPROF_RECORD_OVERHEAD for obj in live)
+            live_bytes * HPROF_EXPANSION + HPROF_RECORD_OVERHEAD * len(ids)
         )
         duration_us = (
             self.costs.jmap_fixed_us
-            + self.costs.jmap_obj_us * len(live)
+            + self.costs.jmap_obj_us * len(ids)
             + self.costs.jmap_write_kib_us * (size_bytes / 1024.0)
         )
         self._seq += 1
@@ -62,7 +71,7 @@ class JmapDumper:
             pages_written=0,
             size_bytes=size_bytes,
             duration_us=duration_us,
-            live_object_ids=frozenset(obj.object_id for obj in live),
+            live_object_ids=frozenset(ids),
             incremental=False,
         )
 

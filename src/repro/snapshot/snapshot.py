@@ -1,13 +1,29 @@
-"""Snapshot records and the store that orders them."""
+"""Snapshot records and the store that orders them.
+
+Two on-disk/in-memory representations exist, mirroring the paper's two
+dump engines:
+
+* **full** — the snapshot owns its complete ``live_object_ids`` set
+  (what a jmap ``.hprof`` dump contains);
+* **delta** — the snapshot stores only ``born_ids``/``dead_ids`` relative
+  to its predecessor (what a CRIU incremental image directory contains,
+  §4.3); the cumulative live-set is materialized lazily on first access
+  and cached.
+
+Delta encoding cuts both resident memory and (de)serialization cost by
+roughly the live/dirty ratio — the same economics that make the paper's
+incremental checkpoints viable.  ``SnapshotStore.save``/``load`` round-trip
+either representation, and loading a legacy full-format file keeps
+working unchanged.
+"""
 
 from __future__ import annotations
 
-import dataclasses
 import json
-from typing import Dict, FrozenSet, List
+from collections.abc import Sequence
+from typing import Dict, FrozenSet, Iterator, List, Optional
 
 
-@dataclasses.dataclass(frozen=True)
 class Snapshot:
     """One memory snapshot.
 
@@ -17,49 +33,227 @@ class Snapshot:
     reading each object header (paper §4.3).  ``size_bytes`` and
     ``duration_us`` are the *physical* cost of producing this snapshot
     (incremental for CRIU, full for jmap) — the quantities of Figures 3/4.
+
+    A snapshot is constructed either *full* (``live_object_ids=...``) or
+    *delta-encoded* (``born_ids=...``, ``dead_ids=...``, plus the
+    ``predecessor`` snapshot the delta applies to; ``predecessor=None``
+    means the delta applies to the empty heap).  For delta snapshots the
+    cumulative live-set is materialized on first ``live_object_ids``
+    access — walking the predecessor chain iteratively, caching every
+    set it computes along the way — so repeated access is O(1).
     """
 
-    seq: int
-    time_ms: float
-    engine: str
-    pages_written: int
-    size_bytes: int
-    duration_us: float
-    live_object_ids: FrozenSet[int]
-    #: True when the image is a delta over the previous snapshot.
-    incremental: bool = True
+    __slots__ = (
+        "seq",
+        "time_ms",
+        "engine",
+        "pages_written",
+        "size_bytes",
+        "duration_us",
+        "incremental",
+        "born_ids",
+        "dead_ids",
+        "_predecessor",
+        "_live_ids",
+    )
+
+    def __init__(
+        self,
+        seq: int,
+        time_ms: float,
+        engine: str,
+        pages_written: int,
+        size_bytes: int,
+        duration_us: float,
+        live_object_ids: Optional[FrozenSet[int]] = None,
+        incremental: bool = True,
+        born_ids: Optional[FrozenSet[int]] = None,
+        dead_ids: Optional[FrozenSet[int]] = None,
+        predecessor: Optional["Snapshot"] = None,
+    ) -> None:
+        self.seq = seq
+        self.time_ms = time_ms
+        self.engine = engine
+        self.pages_written = pages_written
+        self.size_bytes = size_bytes
+        self.duration_us = duration_us
+        self.incremental = incremental
+        if live_object_ids is None and (born_ids is None or dead_ids is None):
+            raise ValueError(
+                "Snapshot needs live_object_ids or born_ids + dead_ids"
+            )
+        self.born_ids = None if born_ids is None else frozenset(born_ids)
+        self.dead_ids = None if dead_ids is None else frozenset(dead_ids)
+        self._predecessor = predecessor
+        self._live_ids = (
+            None if live_object_ids is None else frozenset(live_object_ids)
+        )
+
+    # -- representation ------------------------------------------------------------
+
+    @property
+    def is_delta(self) -> bool:
+        """True when this snapshot is stored as a born/dead delta."""
+        return self.born_ids is not None and self.dead_ids is not None
+
+    @property
+    def predecessor(self) -> Optional["Snapshot"]:
+        """The snapshot this delta applies to (None: the empty heap)."""
+        return self._predecessor
+
+    @property
+    def is_materialized(self) -> bool:
+        """True when the cumulative live-set is already computed."""
+        return self._live_ids is not None
+
+    @property
+    def live_object_ids(self) -> FrozenSet[int]:
+        if self._live_ids is None:
+            # Materialize iteratively (a long chain would blow the stack
+            # if done recursively), caching every intermediate set so a
+            # forward scan over the store is O(live) per snapshot.
+            chain: List[Snapshot] = []
+            node: Optional[Snapshot] = self
+            while node is not None and node._live_ids is None:
+                chain.append(node)
+                node = node._predecessor
+            live = frozenset() if node is None else node._live_ids
+            for snap in reversed(chain):
+                live = (live | snap.born_ids) - snap.dead_ids
+                snap._live_ids = live
+        return self._live_ids
 
     @property
     def live_count(self) -> int:
         return len(self.live_object_ids)
 
+    # -- value semantics (the previous frozen-dataclass contract) -------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Snapshot):
+            return NotImplemented
+        return (
+            self.seq == other.seq
+            and self.time_ms == other.time_ms
+            and self.engine == other.engine
+            and self.pages_written == other.pages_written
+            and self.size_bytes == other.size_bytes
+            and self.duration_us == other.duration_us
+            and self.incremental == other.incremental
+            and self.live_object_ids == other.live_object_ids
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.seq, self.time_ms, self.engine))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kind = "delta" if self.is_delta else "full"
+        return (
+            f"Snapshot(seq={self.seq}, t={self.time_ms:.1f}ms, "
+            f"engine={self.engine!r}, {kind})"
+        )
+
+    # -- pickling: flatten to a payload dict so a delta chain never
+    # -- recurses through __reduce__ (a long chain would overflow).
+    # -- SnapshotStore pickles the whole chain compactly; a snapshot
+    # -- pickled on its own falls back to the full representation.
+
+    def __reduce__(self):
+        return (Snapshot.from_dict, (self.to_full_dict(),))
+
     # -- (de)serialization: snapshots are on-disk artifacts in the paper's
     # -- workflow (CRIU image directories the Analyzer reads later).
 
     def to_dict(self) -> Dict:
-        return {
+        """Native representation: delta snapshots emit born/dead only."""
+        payload = {
             "seq": self.seq,
             "time_ms": self.time_ms,
             "engine": self.engine,
             "pages_written": self.pages_written,
             "size_bytes": self.size_bytes,
             "duration_us": self.duration_us,
-            "live_object_ids": sorted(self.live_object_ids),
             "incremental": self.incremental,
         }
+        if self.is_delta:
+            payload["born_ids"] = sorted(self.born_ids)
+            payload["dead_ids"] = sorted(self.dead_ids)
+        else:
+            payload["live_object_ids"] = sorted(self.live_object_ids)
+        return payload
+
+    def to_full_dict(self) -> Dict:
+        """Legacy full representation (materializes the live-set)."""
+        payload = self.to_dict()
+        payload.pop("born_ids", None)
+        payload.pop("dead_ids", None)
+        payload["live_object_ids"] = sorted(self.live_object_ids)
+        return payload
 
     @classmethod
-    def from_dict(cls, payload: Dict) -> "Snapshot":
-        return cls(
+    def from_dict(
+        cls, payload: Dict, predecessor: Optional["Snapshot"] = None
+    ) -> "Snapshot":
+        """Rebuild from either representation.
+
+        ``predecessor`` anchors a delta payload; it is ignored for full
+        payloads (which are self-contained).
+        """
+        common = dict(
             seq=int(payload["seq"]),
             time_ms=float(payload["time_ms"]),
             engine=payload["engine"],
             pages_written=int(payload["pages_written"]),
             size_bytes=int(payload["size_bytes"]),
             duration_us=float(payload["duration_us"]),
-            live_object_ids=frozenset(payload["live_object_ids"]),
             incremental=bool(payload.get("incremental", True)),
         )
+        if "live_object_ids" in payload:
+            return cls(
+                live_object_ids=frozenset(payload["live_object_ids"]), **common
+            )
+        return cls(
+            born_ids=frozenset(payload.get("born_ids", ())),
+            dead_ids=frozenset(payload.get("dead_ids", ())),
+            predecessor=predecessor,
+            **common,
+        )
+
+
+class SnapshotView(Sequence):
+    """Read-only, zero-copy view over a store's snapshot list.
+
+    Returned by :attr:`SnapshotStore.snapshots`; the Analyzer and the
+    figure drivers iterate it in hot loops, so property access must be
+    O(1) — the store used to return ``list(...)`` copies, O(n) per call.
+    Slicing returns a plain list (callers take prefixes for plots).
+    """
+
+    __slots__ = ("_items",)
+
+    def __init__(self, items: List[Snapshot]) -> None:
+        self._items = items
+
+    def __getitem__(self, index):
+        return self._items[index]
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __iter__(self) -> Iterator[Snapshot]:
+        return iter(self._items)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SnapshotView({self._items!r})"
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, SnapshotView):
+            return self._items == other._items
+        if isinstance(other, list):
+            return self._items == other
+        return NotImplemented
+
+    __hash__ = None  # type: ignore[assignment] - mutable underlying list
 
 
 class SnapshotStore:
@@ -67,15 +261,28 @@ class SnapshotStore:
 
     def __init__(self) -> None:
         self._snapshots: List[Snapshot] = []
+        self._view = SnapshotView(self._snapshots)
 
     def append(self, snapshot: Snapshot) -> None:
         if self._snapshots and snapshot.time_ms < self._snapshots[-1].time_ms:
             raise ValueError("snapshots must be appended in time order")
+        if snapshot.is_delta and not snapshot.is_materialized:
+            # Delta validation: an unmaterialized delta is only decodable
+            # if it chains from the snapshot appended just before it.
+            predecessor = snapshot.predecessor
+            expected = self._snapshots[-1] if self._snapshots else None
+            if predecessor is not expected:
+                raise ValueError(
+                    "delta snapshot must chain from the store's last "
+                    f"snapshot (seq={snapshot.seq} has predecessor "
+                    f"{predecessor!r}, store tail is {expected!r})"
+                )
         self._snapshots.append(snapshot)
 
     @property
-    def snapshots(self) -> List[Snapshot]:
-        return list(self._snapshots)
+    def snapshots(self) -> SnapshotView:
+        """Immutable, O(1) view of the ordered snapshots."""
+        return self._view
 
     def __len__(self) -> int:
         return len(self._snapshots)
@@ -103,16 +310,45 @@ class SnapshotStore:
     # -- persistence (JSON lines, one snapshot per line) ---------------------------
 
     def save(self, path: str) -> None:
+        """Write one JSON object per line, in each snapshot's native
+        (delta or full) representation."""
         with open(path, "w") as handle:
             for snapshot in self._snapshots:
                 handle.write(json.dumps(snapshot.to_dict()) + "\n")
 
     @classmethod
     def load(cls, path: str) -> "SnapshotStore":
+        """Read either format; delta lines chain onto the previous line."""
         store = cls()
+        previous: Optional[Snapshot] = None
         with open(path) as handle:
             for line in handle:
                 line = line.strip()
                 if line:
-                    store.append(Snapshot.from_dict(json.loads(line)))
+                    snapshot = Snapshot.from_dict(
+                        json.loads(line), predecessor=previous
+                    )
+                    store.append(snapshot)
+                    previous = snapshot
+        return store
+
+    # -- pickling: ship the delta payloads, rebuild the chain iteratively.
+    # -- (Default pickling would recurse predecessor-by-predecessor and
+    # -- also re-inflate every delta to a full set via Snapshot.__reduce__;
+    # -- this keeps cross-process transfer proportional to the deltas.)
+
+    def __reduce__(self):
+        return (
+            SnapshotStore._from_payloads,
+            ([s.to_dict() for s in self._snapshots],),
+        )
+
+    @classmethod
+    def _from_payloads(cls, payloads: List[Dict]) -> "SnapshotStore":
+        store = cls()
+        previous: Optional[Snapshot] = None
+        for payload in payloads:
+            snapshot = Snapshot.from_dict(payload, predecessor=previous)
+            store.append(snapshot)
+            previous = snapshot
         return store

@@ -1,0 +1,151 @@
+"""Analyzer hot-path tests: delta single-pass parity and memoization."""
+
+import random
+
+from repro.core.analyzer import Analyzer
+from repro.core.recorder import AllocationRecords
+from repro.snapshot.snapshot import Snapshot
+
+TRACE_A = (("C", "site_a", 10),)
+TRACE_B = (("C", "site_b", 20),)
+
+
+def full_snapshot(seq, live):
+    return Snapshot(
+        seq=seq,
+        time_ms=float(seq),
+        engine="criu",
+        pages_written=1,
+        size_bytes=4096,
+        duration_us=10.0,
+        live_object_ids=frozenset(live),
+    )
+
+
+def delta_snapshots(live_sets):
+    """The same live sets, stored as a delta chain (first image full)."""
+    snaps = []
+    prev_live = None
+    prev_snap = None
+    for seq, live in enumerate(live_sets, start=1):
+        live = frozenset(live)
+        if prev_live is None:
+            snap = full_snapshot(seq, live)
+        else:
+            snap = Snapshot(
+                seq=seq,
+                time_ms=float(seq),
+                engine="criu",
+                pages_written=1,
+                size_bytes=4096,
+                duration_us=10.0,
+                born_ids=live - prev_live,
+                dead_ids=prev_live - live,
+                predecessor=prev_snap,
+            )
+        snaps.append(snap)
+        prev_live, prev_snap = live, snap
+    return snaps
+
+
+def random_live_sets(rng, ids, n_snapshots):
+    """Random birth/death intervals (with resurrections) over ids."""
+    live_sets = []
+    live = set()
+    for _ in range(n_snapshots):
+        for oid in list(ids):
+            roll = rng.random()
+            if oid in live and roll < 0.3:
+                live.discard(oid)
+            elif oid not in live and roll < 0.4:
+                live.add(oid)
+        live_sets.append(set(live))
+    return live_sets
+
+
+def build_records(ids):
+    records = AllocationRecords()
+    for oid in ids:
+        records.log(TRACE_A if oid % 2 else TRACE_B, oid)
+    return records
+
+
+class TestDeltaFastPathParity:
+    def test_counts_match_intersection_fallback(self):
+        rng = random.Random(7)
+        ids = list(range(1, 120))
+        live_sets = random_live_sets(rng, ids, 20)
+        records = build_records(ids)
+
+        delta = Analyzer(records, delta_snapshots(live_sets))
+        full = Analyzer(
+            records,
+            [full_snapshot(i, s) for i, s in enumerate(live_sets, start=1)],
+        )
+        assert delta._has_delta_chain()
+        assert not full._has_delta_chain()
+        assert dict(delta.survival_counts()) == dict(full.survival_counts())
+        assert delta._id_cutoff() == full._id_cutoff()
+        assert {
+            t: d.buckets for t, d in delta.distributions().items()
+        } == {t: d.buckets for t, d in full.distributions().items()}
+        assert delta.estimate_generations() == full.estimate_generations()
+
+    def test_fast_path_internal_methods_agree(self):
+        rng = random.Random(11)
+        ids = list(range(1, 60))
+        live_sets = random_live_sets(rng, ids, 12)
+        analyzer = Analyzer(build_records(ids), delta_snapshots(live_sets))
+        assert dict(analyzer._survival_counts_delta()) == dict(
+            analyzer._survival_counts_intersection()
+        )
+
+    def test_fast_path_avoids_materializing_tail(self):
+        live_sets = [{1, 2}, {2, 3}, {3, 4}, {4, 5}]
+        snaps = delta_snapshots(live_sets)
+        analyzer = Analyzer(build_records([1, 2, 3, 4, 5]), snaps)
+        analyzer.distributions()
+        # Neither survival counting nor the id cutoff needed the full
+        # cumulative live-set of the later snapshots.
+        assert not snaps[-1].is_materialized
+
+    def test_broken_chain_falls_back(self):
+        live_sets = [{1, 2}, {2, 3}]
+        snaps = delta_snapshots(live_sets)
+        # A foreign full snapshot in the middle breaks the chain.
+        mixed = [snaps[0], full_snapshot(5, {7}), snaps[1]]
+        analyzer = Analyzer(build_records([1, 2, 3, 7]), mixed)
+        assert not analyzer._has_delta_chain()
+        counts = analyzer.survival_counts()
+        assert counts[7] == 1
+
+
+class TestMemoization:
+    def test_results_cached_across_calls(self):
+        live_sets = [{1, 2}, {2, 3}]
+        analyzer = Analyzer(
+            build_records([1, 2, 3]), delta_snapshots(live_sets)
+        )
+        assert analyzer.survival_counts() is analyzer.survival_counts()
+        assert analyzer.distributions() is analyzer.distributions()
+        assert (
+            analyzer.estimate_generations() is analyzer.estimate_generations()
+        )
+
+    def test_survival_counts_computed_once(self, monkeypatch):
+        live_sets = [{1, 2}, {2, 3}]
+        analyzer = Analyzer(
+            build_records([1, 2, 3]), delta_snapshots(live_sets)
+        )
+        calls = {"n": 0}
+        original = Analyzer._survival_counts_delta
+
+        def counting(self):
+            calls["n"] += 1
+            return original(self)
+
+        monkeypatch.setattr(Analyzer, "_survival_counts_delta", counting)
+        analyzer.build_profile()
+        analyzer.site_report()
+        analyzer.build_profile()
+        assert calls["n"] == 1
