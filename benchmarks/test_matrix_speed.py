@@ -161,6 +161,8 @@ def test_matrix_speed(tmp_path_factory):
 
     # Acceptance gates: the cached (or parallel, on multi-core hosts)
     # path must at least halve the wall time; the single-pass analyzer
-    # must beat the intersection scan.
-    assert max(serial_s / parallel_s, serial_s / cached_s) >= 2.0
-    assert single_pass_s < intersection_s
+    # must beat the intersection scan.  Timing gates are skipped under
+    # REPRO_BENCH_SMOKE so CI smoke runs fail on correctness only.
+    if not os.environ.get("REPRO_BENCH_SMOKE"):
+        assert max(serial_s / parallel_s, serial_s / cached_s) >= 2.0
+        assert single_pass_s < intersection_s

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import json
 import os
+from array import array
 from typing import Dict, List, Optional, Tuple, TYPE_CHECKING
 
 from repro.errors import ProfileFormatError
@@ -28,28 +29,47 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.heap.objects import HeapObject
     from repro.runtime.vm import VM
 
+#: Magic prefix of the single-file streams layout (see ``flush_to_dir``).
+_STREAMS_MAGIC = b"POLM2IDS"
+_STREAMS_FILENAME = "streams.bin"
+
 
 class AllocationRecords:
     """In-memory allocation records: trace table + per-trace id streams.
 
     Mirrors the Recorder's storage strategy: a table of interned stack
     traces (flushed once) and an append-only stream of object ids per
-    trace.
+    trace.  Streams are ``array('q')`` — packed 64-bit ints, appended to
+    on every single allocation — rather than lists of boxed Python ints.
     """
 
     def __init__(self) -> None:
         self._trace_ids: Dict[Tuple[CodeLocation, ...], int] = {}
         self.traces: Dict[int, Tuple[CodeLocation, ...]] = {}
-        self.streams: Dict[int, List[int]] = {}
+        self.streams: Dict[int, array] = {}
 
-    def log(self, trace: Tuple[CodeLocation, ...], object_id: int) -> int:
-        """Record one allocation; returns the interned trace id."""
+    def intern_trace(self, trace: Tuple[CodeLocation, ...]) -> int:
+        """Intern ``trace`` and return its record trace id (1-based,
+        first-encounter order), creating its empty stream on first use."""
         trace_id = self._trace_ids.get(trace)
         if trace_id is None:
             trace_id = len(self._trace_ids) + 1
             self._trace_ids[trace] = trace_id
             self.traces[trace_id] = trace
-            self.streams[trace_id] = []
+            self.streams[trace_id] = array("q")
+        return trace_id
+
+    def append(self, trace_id: int, object_id: int) -> None:
+        """Append one allocation to an already-interned trace's stream."""
+        self.streams[trace_id].append(object_id)
+
+    def log(self, trace: Tuple[CodeLocation, ...], object_id: int) -> int:
+        """Record one allocation; returns the interned trace id.
+
+        Convenience path that hashes the trace tuple; the Recorder's hot
+        path interns once per VM trace id and calls :meth:`append`.
+        """
+        trace_id = self.intern_trace(trace)
         self.streams[trace_id].append(object_id)
         return trace_id
 
@@ -70,7 +90,16 @@ class AllocationRecords:
     # -- persistence (the "flushed to disk at the end" behaviour of §3.2) ----
 
     def flush_to_dir(self, path: str) -> None:
-        """Write the trace table and the id streams to ``path``."""
+        """Write the trace table and the id streams to ``path``.
+
+        The streams land in one length-prefixed binary file
+        (``streams.bin``): an 8-byte magic, then per stream a
+        ``(trace_id, count)`` pair of machine int64s followed by ``count``
+        int64 object ids (native byte order, straight out of the
+        ``array('q')`` buffers).  The historical layout wrote one
+        ``stream_<tid>.ids`` text file per trace — thousands of tiny files
+        on real workloads; :meth:`load_from_dir` still reads it.
+        """
         os.makedirs(path, exist_ok=True)
         table = {
             str(tid): [list(frame) for frame in trace]
@@ -78,9 +107,11 @@ class AllocationRecords:
         }
         with open(os.path.join(path, "traces.json"), "w") as handle:
             json.dump(table, handle)
-        for tid, stream in self.streams.items():
-            with open(os.path.join(path, f"stream_{tid}.ids"), "w") as handle:
-                handle.write("\n".join(str(oid) for oid in stream))
+        with open(os.path.join(path, _STREAMS_FILENAME), "wb") as handle:
+            handle.write(_STREAMS_MAGIC)
+            for tid, stream in self.streams.items():
+                handle.write(array("q", (tid, len(stream))).tobytes())
+                handle.write(stream.tobytes())
 
     @classmethod
     def load_from_dir(cls, path: str) -> "AllocationRecords":
@@ -98,13 +129,45 @@ class AllocationRecords:
             )
             records._trace_ids[trace] = tid
             records.traces[tid] = trace
-            stream_path = os.path.join(path, f"stream_{tid}.ids")
-            stream: List[int] = []
-            if os.path.exists(stream_path):
-                with open(stream_path) as handle:
-                    stream = [int(line) for line in handle if line.strip()]
-            records.streams[tid] = stream
+            records.streams[tid] = array("q")
+        streams_path = os.path.join(path, _STREAMS_FILENAME)
+        if os.path.exists(streams_path):
+            records._load_streams_file(streams_path)
+        else:
+            # Legacy layout: one stream_<tid>.ids text file per trace.
+            for tid in records.traces:
+                stream_path = os.path.join(path, f"stream_{tid}.ids")
+                if os.path.exists(stream_path):
+                    with open(stream_path) as handle:
+                        records.streams[tid] = array(
+                            "q", (int(line) for line in handle if line.strip())
+                        )
         return records
+
+    def _load_streams_file(self, streams_path: str) -> None:
+        with open(streams_path, "rb") as handle:
+            blob = handle.read()
+        if blob[: len(_STREAMS_MAGIC)] != _STREAMS_MAGIC:
+            raise ProfileFormatError(
+                f"{streams_path}: bad magic, not a streams file"
+            )
+        offset = len(_STREAMS_MAGIC)
+        end = len(blob)
+        while offset < end:
+            if offset + 16 > end:
+                raise ProfileFormatError(f"{streams_path}: truncated header")
+            header = array("q")
+            header.frombytes(blob[offset : offset + 16])
+            trace_id, count = header
+            offset += 16
+            if count < 0 or offset + 8 * count > end:
+                raise ProfileFormatError(
+                    f"{streams_path}: truncated stream for trace {trace_id}"
+                )
+            stream = array("q")
+            stream.frombytes(blob[offset : offset + 8 * count])
+            offset += 8 * count
+            self.streams[trace_id] = stream
 
 
 class Recorder:
@@ -122,6 +185,11 @@ class Recorder:
         self.vm: Optional["VM"] = None
         self.dumper: Optional["Dumper"] = None
         self._cycles_since_snapshot = 0
+        #: VM trace id -> record trace id.  The VM interns each distinct
+        #: stack trace once (see ``AllocSite.cached_trace_id``), so after
+        #: the first sighting an allocation is logged with two int-keyed
+        #: dict hits — the trace tuple is never hashed again.
+        self._record_ids_by_vm_trace: Dict[int, int] = {}
 
     # -- agent lifecycle -----------------------------------------------------------
 
@@ -150,7 +218,19 @@ class Recorder:
     # -- allocation callback -----------------------------------------------------------
 
     def _on_alloc(self, obj: "HeapObject", site: AllocSite, trace: tuple) -> None:
-        self.records.log(trace, obj.object_id)
+        vm_trace_id = obj.trace_id
+        if vm_trace_id:
+            record_id = self._record_ids_by_vm_trace.get(vm_trace_id)
+            if record_id is None:
+                # First sighting of this trace: intern the tuple once.
+                # VM interning is injective, so record ids still follow
+                # first-encounter order exactly as trace-keyed logging did.
+                record_id = self.records.intern_trace(trace)
+                self._record_ids_by_vm_trace[vm_trace_id] = record_id
+            self.records.streams[record_id].append(obj.object_id)
+        else:
+            # No VM-interned id (direct calls outside a site): slow path.
+            self.records.log(trace, obj.object_id)
         if self.vm is not None:
             # Logging costs mutator time; this is the profiling overhead
             # the paper accepts in exchange for offline analysis.
@@ -169,8 +249,12 @@ class Recorder:
         live = collector.last_live_objects if collector is not None else []
         if collector is not None and collector.last_trace_was_partial:
             # Remembered-set collections only establish young liveness;
-            # snapshots need the full live set.
-            live = self.vm.heap.trace_live(self.vm.iter_roots())
+            # snapshots need the full live set.  Trace through the
+            # *collector* so the result (live list + mark epoch) is adopted
+            # as its latest trace: a mixed/generation collection at this
+            # same safepoint then reuses it instead of tracing the heap a
+            # second time.
+            live = collector.trace_live()
         if self.mark_no_need:
             # §4.1: before signalling the Dumper, traverse the heap and set
             # the no-need bit on every page with no live objects (madvise).

@@ -41,6 +41,11 @@ class GenerationalCollector(abc.ABC):
         #: (remembered-set mode) — consumers needing full liveness (the
         #: Recorder's snapshot trigger) must re-trace themselves.
         self.last_trace_was_partial = False
+        #: Heap mark epoch of the most recent trace.  At the same
+        #: safepoint, ``obj.mark_epoch == last_mark_epoch`` is equivalent
+        #: to ``obj in last_live_objects`` — collectors use it in place of
+        #: materialized id sets.  Stale once anyone runs a newer trace.
+        self.last_mark_epoch = 0
 
     # -- wiring ---------------------------------------------------------------------
 
@@ -105,6 +110,7 @@ class GenerationalCollector(abc.ABC):
         live = vm.heap.trace_live(vm.iter_roots())
         self.last_live_objects = live
         self.last_trace_was_partial = False
+        self.last_mark_epoch = vm.heap.mark_epoch
         return live
 
     def trace_young_live(self) -> List[HeapObject]:
@@ -133,17 +139,20 @@ class GenerationalCollector(abc.ABC):
             stack.extend(kids)
         for parent_id in stale:
             del heap.old_to_young_remset[parent_id]
-        visited: Set[int] = set()
+        # Epoch marking instead of a per-cycle visited set: same traversal,
+        # no set allocation or id hashing (see SimHeap.trace_live).
+        epoch = heap.new_mark_epoch(partial=True)
         live: List[HeapObject] = []
         while stack:
             obj = stack.pop()
-            if obj.gen_id != 0 or obj.object_id in visited:
+            if obj.gen_id != 0 or obj.mark_epoch == epoch:
                 continue
-            visited.add(obj.object_id)
+            obj.mark_epoch = epoch
             live.append(obj)
             stack.extend(obj.refs)
         self.last_live_objects = live
         self.last_trace_was_partial = True
+        self.last_mark_epoch = epoch
         return live
 
     def young_liveness(self) -> List[HeapObject]:

@@ -95,7 +95,8 @@ class C4Collector(GenerationalCollector):
         heap = vm.heap
         gen = heap.young
         live = self.trace_live()
-        live_ids = self.live_id_set(live)
+        # Fresh same-safepoint trace: the epoch marks are the live set.
+        epoch = self.last_mark_epoch
         live_by_region = heap.live_bytes_by_region(live)
 
         freed = 0
@@ -113,11 +114,11 @@ class C4Collector(GenerationalCollector):
                 >= self.COMPACT_GARBAGE_FRACTION
             ):
                 compact_regions.append(region)
-        heap.reclaim_dead_humongous(live_ids)
+        heap.reclaim_dead_humongous(epoch)
         compacted = 0
         if compact_regions:
             compacted, _, _ = heap.evacuate(
-                compact_regions, live_ids, gen, lambda obj: gen
+                compact_regions, epoch, gen, lambda obj: gen
             )
         pause_ms = self._rng.uniform(self.MIN_PAUSE_MS, self.MAX_PAUSE_MS)
         self.record_pause(

@@ -123,8 +123,10 @@ class G1Collector(GenerationalCollector):
         heap = vm.heap
         young = heap.young
         old = heap.generation(self.old_gen_id)
-        live = self.young_liveness()
-        live_ids = self.live_id_set(live)
+        self.young_liveness()
+        # The trace just ran at this safepoint: its mark epoch *is* the
+        # live set, so no id set is materialized.
+        epoch = self.last_mark_epoch
         regions: List[Region] = list(young.regions)
         threshold = vm.config.tenure_threshold
 
@@ -133,10 +135,10 @@ class G1Collector(GenerationalCollector):
             return old if obj.age >= threshold else young
 
         survivor, promoted, scanned = heap.evacuate(
-            regions, live_ids, young, destination
+            regions, epoch, young, destination
         )
         heap.reclaim_dead_humongous(
-            live_ids, only_young=self.last_trace_was_partial
+            epoch, only_young=self.last_trace_was_partial
         )
         tenured = old.used_bytes
         duration = costmodel.young_pause_us(
@@ -160,10 +162,12 @@ class G1Collector(GenerationalCollector):
         heap = vm.heap
         old = heap.generation(self.old_gen_id)
         if self.last_live_objects and not self.last_trace_was_partial:
+            # Reuse the full trace that just ran at this safepoint; its
+            # epoch marks are still current (nothing traced in between).
             live = self.last_live_objects
         else:
             live = self.trace_live()
-        live_ids = self.live_id_set(live)
+        epoch = self.last_mark_epoch
         live_by_region = heap.live_bytes_by_region(live)
 
         candidates: List[Region] = []
@@ -180,7 +184,7 @@ class G1Collector(GenerationalCollector):
         chosen = candidates[: self.MAX_MIXED_REGIONS]
 
         compacted, _, scanned = heap.evacuate(
-            chosen, live_ids, old, lambda obj: old
+            chosen, epoch, old, lambda obj: old
         )
         duration = costmodel.mixed_pause_us(vm.config.costs, scanned, compacted)
         self.record_pause(
@@ -199,14 +203,14 @@ class G1Collector(GenerationalCollector):
         heap = vm.heap
         young = heap.young
         old = heap.generation(self.old_gen_id)
-        live = self.trace_live()
-        live_ids = self.live_id_set(live)
+        self.trace_live()
+        epoch = self.last_mark_epoch
         moved = 0
         scanned = 0
         for gen in (young, old):
             regions = list(gen.regions)
             copied, promoted, seen = heap.evacuate(
-                regions, live_ids, gen, lambda obj: old
+                regions, epoch, gen, lambda obj: old
             )
             moved += copied + promoted
             scanned += seen

@@ -164,8 +164,10 @@ class NG2CCollector(GenerationalCollector):
         heap = vm.heap
         young = heap.young
         old = heap.generation(self.old_gen_id)
-        live = self.young_liveness()
-        live_ids = self.live_id_set(live)
+        self.young_liveness()
+        # The trace just ran at this safepoint: its mark epoch *is* the
+        # live set, so no id set is materialized.
+        epoch = self.last_mark_epoch
         regions = list(young.regions)
         threshold = vm.config.tenure_threshold
 
@@ -174,10 +176,10 @@ class NG2CCollector(GenerationalCollector):
             return old if obj.age >= threshold else young
 
         survivor, promoted, scanned = heap.evacuate(
-            regions, live_ids, young, destination
+            regions, epoch, young, destination
         )
         heap.reclaim_dead_humongous(
-            live_ids, only_young=self.last_trace_was_partial
+            epoch, only_young=self.last_trace_was_partial
         )
         tenured = sum(
             gen.used_bytes
@@ -213,7 +215,13 @@ class NG2CCollector(GenerationalCollector):
         heap = vm.heap
         if live is None:
             live = self.trace_live()
-        live_ids = self.live_id_set(live)
+        if live is self.last_live_objects and not self.last_trace_was_partial:
+            # The list is the collector's own same-safepoint trace, so its
+            # epoch marks are current — no id set needed.
+            live_test = self.last_mark_epoch
+        else:
+            # An arbitrary caller-supplied live list: fall back to ids.
+            live_test = self.live_id_set(live)
         live_by_region = heap.live_bytes_by_region(live)
 
         freed_wholesale = 0
@@ -243,11 +251,11 @@ class NG2CCollector(GenerationalCollector):
                 freed_wholesale += 1
             if compact_regions:
                 moved, _, seen = heap.evacuate(
-                    compact_regions, live_ids, gen, lambda obj, g=gen: g
+                    compact_regions, live_test, gen, lambda obj, g=gen: g
                 )
                 compacted += moved
                 scanned += seen
-        heap.reclaim_dead_humongous(live_ids)
+        heap.reclaim_dead_humongous(live_test)
         self._retire_empty_rotated()
         self._pretenured_since_gc = 0
         duration = costmodel.gen_pause_us(
@@ -280,15 +288,15 @@ class NG2CCollector(GenerationalCollector):
         """Compact every generation within itself (preserves pretenuring)."""
         vm = self._require_vm()
         heap = vm.heap
-        live = self.trace_live()
-        live_ids = self.live_id_set(live)
+        self.trace_live()
+        epoch = self.last_mark_epoch
         moved = 0
         scanned = 0
         for gen_id in list(heap.generations):
             gen = heap.generation(gen_id)
             regions = list(gen.regions)
             copied, promoted, seen = heap.evacuate(
-                regions, live_ids, gen, lambda obj, g=gen: g
+                regions, epoch, gen, lambda obj, g=gen: g
             )
             moved += copied + promoted
             scanned += seen

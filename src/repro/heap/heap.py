@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.config import PAGE_SIZE, REGION_SIZE, YOUNG_GEN, SimConfig
 from repro.errors import OutOfMemoryError, UnknownGenerationError
@@ -79,6 +79,16 @@ class SimHeap:
         self.total_allocated_bytes = 0
         self.total_allocated_objects = 0
         self.peak_committed_bytes = 0
+        #: Current mark epoch.  ``obj.mark_epoch == heap.mark_epoch`` is the
+        #: liveness test after a trace; every trace (full or partial) bumps
+        #: the epoch so stale marks from earlier cycles can never read as
+        #: live.  See docs/architecture.md, "Hot paths and invariants".
+        self.mark_epoch = 0
+        #: Trace-effort counters: how many full-heap and partial
+        #: (remembered-set) traces have run.  Tests use these to assert the
+        #: Recorder performs at most one full trace per snapshot.
+        self.full_trace_count = 0
+        self.partial_trace_count = 0
         # The young generation always exists (generation zero).
         self.new_generation("young")
 
@@ -124,7 +134,17 @@ class SimHeap:
         return region
 
     def free_region(self, region: Region) -> None:
-        """Reset a region and return it to the free pool."""
+        """Reset a region and return it to the free pool.
+
+        Objects still listed in the region (wholesale reclamation of dead
+        regions / cohorts / humongous runs) are removed from the page
+        occupancy counters here; evacuation untracks per object instead and
+        hands over an already-emptied region.
+        """
+        if region.objects:
+            untrack = self.page_table.untrack_object
+            for obj in region.objects:
+                untrack(obj.address, obj.size)
         region.reset()
         self._free_regions.append(region)
 
@@ -184,6 +204,7 @@ class SimHeap:
         else:
             address = gen.allocate(obj)
         self.page_table.mark_written_range(address, size)
+        self.page_table.track_object(address, size)
         if refs and gen_id != YOUNG_GEN:
             # A pretenured object born pointing at young children is an
             # old->young edge the write barrier would otherwise miss.
@@ -254,9 +275,14 @@ class SimHeap:
         return obj.object_id in self._humongous
 
     def reclaim_dead_humongous(
-        self, live_ids: Set[int], only_young: bool = False
+        self, live_ids, only_young: bool = False
     ) -> Tuple[int, int]:
         """Free the regions of humongous objects no longer reachable.
+
+        ``live_ids`` is either a ``Set[int]`` of live object ids or an
+        ``int`` mark epoch (an object is live iff ``obj.mark_epoch`` equals
+        it) — collectors on the fast path pass the epoch of their latest
+        trace.
 
         Returns ``(objects_reclaimed, bytes_freed)``.  Collectors call
         this during their collections (G1 reclaims dead humongous
@@ -265,16 +291,19 @@ class SimHeap:
         only the young generation) tenured humongous objects are left
         alone.
         """
+        use_epoch = isinstance(live_ids, int)
         reclaimed = 0
         freed_bytes = 0
         for object_id in list(self._humongous):
-            if object_id in live_ids:
-                continue
-            if only_young:
-                run = self._humongous[object_id]
-                first = run[0].objects[0] if run[0].objects else None
-                if first is None or first.gen_id != YOUNG_GEN:
+            run = self._humongous[object_id]
+            first = run[0].objects[0] if run[0].objects else None
+            if use_epoch:
+                if first is not None and first.mark_epoch == live_ids:
                     continue
+            elif object_id in live_ids:
+                continue
+            if only_young and (first is None or first.gen_id != YOUNG_GEN):
+                continue
             for region in self._humongous.pop(object_id):
                 freed_bytes += region.size
                 self.free_region(region)
@@ -322,19 +351,45 @@ class SimHeap:
 
     # -- tracing --------------------------------------------------------------------
 
+    def new_mark_epoch(self, partial: bool = False) -> int:
+        """Advance and return the mark epoch for a fresh trace.
+
+        Every trace — full-heap or partial — must call this first, so
+        marks from prior cycles can never be mistaken for current ones.
+        """
+        self.mark_epoch += 1
+        if partial:
+            self.partial_trace_count += 1
+        else:
+            self.full_trace_count += 1
+        return self.mark_epoch
+
     def trace_live(self, roots: Iterable[HeapObject]) -> List[HeapObject]:
-        """Return every object reachable from ``roots`` (iterative DFS)."""
-        visited: Set[int] = set()
+        """Return every object reachable from ``roots`` (iterative DFS).
+
+        Liveness is recorded as a mark epoch on each object instead of in
+        a per-cycle visited set: marking is one int store, the membership
+        test one int compare, and no set is ever built or hashed.  Children
+        already marked are elided at push time; the ones that slip through
+        (pushed twice before their first pop) are dropped at pop time, so
+        the visit order — and hence the returned list — is identical to the
+        historical visited-set DFS.
+        """
+        epoch = self.new_mark_epoch()
         live: List[HeapObject] = []
+        append = live.append
         stack: List[HeapObject] = [r for r in roots if r is not None]
+        pop = stack.pop
+        push = stack.append
         while stack:
-            obj = stack.pop()
-            oid = obj.object_id
-            if oid in visited:
+            obj = pop()
+            if obj.mark_epoch == epoch:
                 continue
-            visited.add(oid)
-            live.append(obj)
-            stack.extend(obj._refs)
+            obj.mark_epoch = epoch
+            append(obj)
+            for child in obj._refs:
+                if child.mark_epoch != epoch:
+                    push(child)
         return live
 
     # -- evacuation -------------------------------------------------------------------
@@ -342,7 +397,7 @@ class SimHeap:
     def evacuate(
         self,
         regions: Sequence[Region],
-        live_ids: Set[int],
+        live,
         source_gen: Generation,
         destination_for,
     ) -> Tuple[int, int, int]:
@@ -350,7 +405,9 @@ class SimHeap:
 
         Args:
             regions: collection-set regions (must belong to ``source_gen``).
-            live_ids: ids of reachable objects (from :meth:`trace_live`).
+            live: either a ``Set[int]`` of reachable object ids or an
+                ``int`` mark epoch from the collector's latest trace (an
+                object survives iff ``obj.mark_epoch`` equals it).
             source_gen: generation owning the regions.
             destination_for: callable ``obj -> Generation`` choosing where
                 each survivor is copied (tenuring policy).
@@ -359,19 +416,28 @@ class SimHeap:
             ``(survivor_bytes, promoted_bytes, scanned_objects)`` where
             promoted bytes are those copied into a *different* generation.
         """
+        use_epoch = isinstance(live, int)
         survivor_bytes = 0
         promoted_bytes = 0
         scanned = 0
+        page_table = self.page_table
         for region in regions:
             source_gen.release_region(region)
         for region in regions:
             for obj in region.objects:
                 scanned += 1
-                if obj.object_id not in live_ids:
+                # The old copy disappears whether or not the object
+                # survives; untrack before allocation rewrites the address.
+                page_table.untrack_object(obj.address, obj.size)
+                if use_epoch:
+                    if obj.mark_epoch != live:
+                        continue
+                elif obj.object_id not in live:
                     continue
                 dest = destination_for(obj)
                 address = dest.allocate(obj)
-                self.page_table.mark_written_range(address, obj.size)
+                page_table.mark_written_range(address, obj.size)
+                page_table.track_object(address, obj.size)
                 if dest.gen_id != region.gen_id:
                     promoted_bytes += obj.size
                 else:
@@ -381,6 +447,8 @@ class SimHeap:
                 ):
                     # Promotion created an old->young edge.
                     self.old_to_young_remset[obj.object_id] = obj
+            # Occupancy already handed over; don't untrack again on free.
+            region.objects.clear()
             self.free_region(region)
         return survivor_bytes, promoted_bytes, scanned
 
@@ -455,6 +523,27 @@ class SimHeap:
                         f"expected {cursor:#x}"
                     )
                     cursor += obj.size
+        # The incrementally maintained page occupancy counters must agree
+        # with a from-scratch recount of every object present in the heap
+        # (live or dead — occupancy is presence, not reachability).
+        expected = [0] * self.page_table.num_pages
+        for region in self._regions:
+            for obj in region.objects:
+                if obj.address < 0:
+                    continue
+                for page in obj.page_span(self.page_size):
+                    expected[page] += 1
+        actual_occupancy = self.page_table.occupancy_snapshot()
+        assert actual_occupancy == expected, (
+            "page occupancy counters drifted from object placement: "
+            + str(
+                [
+                    (page, expected[page], actual_occupancy[page])
+                    for page in range(len(expected))
+                    if expected[page] != actual_occupancy[page]
+                ][:10]
+            )
+        )
 
     # -- page advice (paper §3.2 / §4.2) --------------------------------------------
 
@@ -465,18 +554,28 @@ class SimHeap:
         before each snapshot: walk the heap, madvise away pages with no
         reachable data so CRIU skips them.  Returns the number of pages
         marked.
+
+        Pages of regions that were just evacuated and freed are advised
+        away too: they are still dirty from their old contents but hold
+        nothing reachable.  Note liveness here is *reachability*, not page
+        occupancy — a page can be fully occupied by dead-but-not-yet
+        -reclaimed objects and still be advised away — so the sweep takes
+        the live list, not the occupancy counters.  It builds a per-page
+        "needed" byte map with slice stores and applies it in bulk
+        (:meth:`repro.heap.page.PageTable.rewrite_no_need`), replacing the
+        historical per-page Python loop over a set of spans.
         """
-        needed: Set[int] = set()
-        for obj in live_objects:
-            needed.update(obj.page_span(self.page_size))
         table = self.page_table
-        table.clear_all_no_need()
-        # Every page without live data is advised away — including pages of
-        # regions that were just evacuated and freed: they are still dirty
-        # from their old contents but hold nothing reachable.
-        marked = 0
-        for page in range(table.num_pages):
-            if page not in needed:
-                table.set_no_need((page,))
-                marked += 1
-        return marked
+        needed = bytearray(table.num_pages)
+        page_size = self.page_size
+        for obj in live_objects:
+            address = obj.address
+            if address < 0:
+                continue
+            first = address // page_size
+            last = (address + obj.size - 1) // page_size
+            if first == last:
+                needed[first] = 1
+            else:
+                needed[first : last + 1] = b"\x01" * (last + 1 - first)
+        return table.rewrite_no_need(needed)

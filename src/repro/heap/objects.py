@@ -43,6 +43,11 @@ class HeapObject:
         address: Current virtual address; changes when the object moves.
         age: Number of young collections survived (G1 tenuring input).
         birth_cycle: GC cycle count at allocation time.
+        mark_epoch: Heap mark epoch at which this object was last found
+            reachable.  ``obj.mark_epoch == heap.mark_epoch`` means "marked
+            live by the most recent trace"; marking is one int store and the
+            liveness test one int compare, so no per-cycle visited set is
+            ever allocated (see docs/architecture.md, "Hot paths").
     """
 
     __slots__ = (
@@ -55,6 +60,7 @@ class HeapObject:
         "address",
         "age",
         "birth_cycle",
+        "mark_epoch",
         "_refs",
     )
 
@@ -79,6 +85,7 @@ class HeapObject:
         self.address = -1
         self.age = 0
         self.birth_cycle = birth_cycle
+        self.mark_epoch = 0
         self._refs: List[HeapObject] = []
 
     @property

@@ -9,11 +9,23 @@ bits:
 * the **no-need** bit — set through ``madvise`` by POLM2's Recorder on every
   page that contains no live objects, so the Dumper can skip them.
 
-This module models both bits over a flat virtual address space.
+This module models both bits over a flat virtual address space.  The flag
+array is a ``bytearray`` so whole-table operations (clearing dirty bits at
+a checkpoint, rewriting no-need advice before one) run as C-level
+``bytes.translate`` / big-int bitwise passes instead of Python loops —
+these run once per snapshot and used to dominate snapshot overhead.
+
+The table additionally keeps a per-page **object occupancy counter**,
+maintained incrementally by the heap at allocation, evacuation, and region
+reclamation.  A page with zero occupancy holds no object at all (live or
+dead); the counters make page-emptiness queries O(1) and give the
+invariant checks in :meth:`repro.heap.heap.SimHeap.verify` something to
+validate the incremental bookkeeping against.
 """
 
 from __future__ import annotations
 
+from array import array
 from typing import Iterable, Iterator, List
 
 from repro.config import PAGE_SIZE
@@ -21,6 +33,16 @@ from repro.errors import InvalidAddressError
 
 _DIRTY = 0x1
 _NO_NEED = 0x2
+
+#: translate() tables for whole-array flag rewrites.  Flag bytes only ever
+#: hold combinations of the two bits above, but the tables cover all 256
+#: values so stray state can never corrupt a bulk pass.
+_CLEAR_DIRTY_TABLE = bytes(value & ~_DIRTY for value in range(256))
+_CLEAR_NO_NEED_TABLE = bytes(value & ~_NO_NEED for value in range(256))
+#: Maps a "page is needed" byte (0 = no live data) to the advice bit.
+_NEEDED_TO_NO_NEED = bytes(
+    _NO_NEED if value == 0 else 0 for value in range(256)
+)
 
 
 class PageTable:
@@ -34,6 +56,8 @@ class PageTable:
         self.page_size = page_size
         self.num_pages = (address_space_bytes + page_size - 1) // page_size
         self._flags = bytearray(self.num_pages)
+        #: Objects (live or dead, headers included) overlapping each page.
+        self._occupancy = array("q", bytes(8 * self.num_pages))
 
     # -- address helpers ----------------------------------------------------
 
@@ -85,20 +109,19 @@ class PageTable:
         return bool(self._flags[page] & _DIRTY)
 
     def dirty_pages(self) -> List[int]:
-        flags = self._flags
-        return [i for i in range(self.num_pages) if flags[i] & _DIRTY]
+        return [i for i, f in enumerate(self._flags) if f & _DIRTY]
 
     def clear_dirty(self) -> int:
         """Clear every dirty bit (CRIU does this at snapshot time).
 
-        Returns the number of pages that were dirty.
+        Returns the number of pages that were dirty.  Flag bytes only hold
+        the two modelled bits, so the count is two C-level byte counts and
+        the clear is one ``translate`` pass.
         """
-        count = 0
         flags = self._flags
-        for i in range(self.num_pages):
-            if flags[i] & _DIRTY:
-                flags[i] &= ~_DIRTY
-                count += 1
+        count = flags.count(_DIRTY) + flags.count(_DIRTY | _NO_NEED)
+        if count:
+            flags[:] = flags.translate(_CLEAR_DIRTY_TABLE)
         return count
 
     # -- no-need bit (madvise MADV_FREE-style) -------------------------------
@@ -112,36 +135,90 @@ class PageTable:
             self._flags[page] &= ~_NO_NEED
 
     def clear_all_no_need(self) -> None:
-        for i in range(self.num_pages):
-            self._flags[i] &= ~_NO_NEED
+        self._flags[:] = self._flags.translate(_CLEAR_NO_NEED_TABLE)
 
     def is_no_need(self, page: int) -> bool:
         return bool(self._flags[page] & _NO_NEED)
 
     def no_need_pages(self) -> List[int]:
-        flags = self._flags
-        return [i for i in range(self.num_pages) if flags[i] & _NO_NEED]
+        return [i for i, f in enumerate(self._flags) if f & _NO_NEED]
+
+    def rewrite_no_need(self, needed: bytearray) -> int:
+        """Replace all no-need advice from a per-page "needed" byte map.
+
+        ``needed[i] != 0`` means page ``i`` holds live data.  Every other
+        page gets the no-need bit; pages with live data get it cleared —
+        exactly the clear-then-remark sequence the Recorder performs before
+        each snapshot, collapsed into two ``translate`` passes and one
+        big-int OR.  Returns the number of pages marked no-need.
+        """
+        if len(needed) != self.num_pages:
+            raise ValueError(
+                f"needed map covers {len(needed)} pages, table has {self.num_pages}"
+            )
+        cleared = self._flags.translate(_CLEAR_NO_NEED_TABLE)
+        advice = needed.translate(_NEEDED_TO_NO_NEED)
+        merged = int.from_bytes(cleared, "little") | int.from_bytes(advice, "little")
+        self._flags[:] = merged.to_bytes(self.num_pages, "little")
+        return needed.count(0)
+
+    # -- object occupancy (incremental page liveness) -------------------------
+
+    def track_object(self, address: int, length: int) -> None:
+        """Count an object placed at ``address`` on every page it overlaps."""
+        if length <= 0:
+            return
+        occupancy = self._occupancy
+        page_size = self.page_size
+        first = address // page_size
+        last = (address + length - 1) // page_size
+        for page in range(first, last + 1):
+            occupancy[page] += 1
+
+    def untrack_object(self, address: int, length: int) -> None:
+        """Remove an object's count (death, evacuation, region reclaim)."""
+        if length <= 0:
+            return
+        occupancy = self._occupancy
+        page_size = self.page_size
+        first = address // page_size
+        last = (address + length - 1) // page_size
+        for page in range(first, last + 1):
+            occupancy[page] -= 1
+
+    def occupancy(self, page: int) -> int:
+        return self._occupancy[page]
+
+    def occupied_pages(self) -> List[int]:
+        return [i for i, count in enumerate(self._occupancy) if count]
+
+    def occupancy_snapshot(self) -> List[int]:
+        """A copy of the per-page counters (for invariant verification)."""
+        return list(self._occupancy)
 
     # -- snapshot support -----------------------------------------------------
 
     def snapshot_candidate_pages(self) -> List[int]:
         """Pages CRIU would include: dirty and not marked no-need."""
-        flags = self._flags
         return [
             i
-            for i in range(self.num_pages)
-            if (flags[i] & _DIRTY) and not (flags[i] & _NO_NEED)
+            for i, f in enumerate(self._flags)
+            if (f & _DIRTY) and not (f & _NO_NEED)
         ]
 
+    def snapshot_candidate_count(self) -> int:
+        """Number of dirty-and-not-no-need pages (checkpoint hot path).
+
+        Flag bytes only hold the two modelled bits, so candidates are
+        exactly the bytes equal to ``_DIRTY`` — one C-level count.
+        """
+        return self._flags.count(_DIRTY)
+
     def counts(self) -> "PageCounts":
-        dirty = no_need = both = 0
-        for flag in self._flags:
-            if flag & _DIRTY:
-                dirty += 1
-            if flag & _NO_NEED:
-                no_need += 1
-            if (flag & _DIRTY) and (flag & _NO_NEED):
-                both += 1
+        flags = self._flags
+        both = flags.count(_DIRTY | _NO_NEED)
+        dirty = flags.count(_DIRTY) + both
+        no_need = flags.count(_NO_NEED) + both
         return PageCounts(
             total=self.num_pages, dirty=dirty, no_need=no_need, dirty_and_no_need=both
         )

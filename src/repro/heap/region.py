@@ -56,9 +56,15 @@ class Region:
     def free_bytes(self) -> int:
         return self.size - self.top
 
-    def live_bytes(self, live_ids: "set[int]") -> int:
-        """Bytes occupied by objects whose ids are in ``live_ids``."""
-        return sum(obj.size for obj in self.objects if obj.object_id in live_ids)
+    def live_bytes(self, live) -> int:
+        """Bytes occupied by live objects in this region.
+
+        ``live`` is either a ``set[int]`` of live object ids or an ``int``
+        mark epoch (an object counts iff ``obj.mark_epoch`` equals it).
+        """
+        if isinstance(live, int):
+            return sum(obj.size for obj in self.objects if obj.mark_epoch == live)
+        return sum(obj.size for obj in self.objects if obj.object_id in live)
 
     def page_span(self, page_size: int) -> range:
         """Pages covered by the *used* part of this region."""

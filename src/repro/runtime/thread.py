@@ -11,6 +11,7 @@ whether the call flips the thread-local *target generation* (NG2C's
 
 from __future__ import annotations
 
+import itertools
 from typing import List, Optional, Sequence, TYPE_CHECKING
 
 from repro.errors import NoActiveFrameError
@@ -19,6 +20,14 @@ from repro.runtime.stack import Frame, capture_stack_trace
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.runtime.vm import VM
+
+#: Globally unique stack-shape tokens.  Every frame push or pop on any
+#: thread draws a fresh token, so two observations of the same token value
+#: guarantee the observing thread's frame stack (identities *and* the
+#: callers' current lines, which can only change while a frame is on top)
+#: is unchanged.  Allocation sites key their interned-trace cache on this
+#: (see :class:`repro.runtime.code.AllocSite`).
+_stack_token_counter = itertools.count(1)
 
 
 class _FrameContext:
@@ -36,13 +45,17 @@ class _FrameContext:
         self.saved_gen = saved_gen
 
     def __enter__(self) -> Frame:
-        self.thread.frames.append(self.frame)
+        thread = self.thread
+        thread.frames.append(self.frame)
+        thread.stack_token = next(_stack_token_counter)
         return self.frame
 
     def __exit__(self, exc_type, exc, tb) -> None:
-        self.thread.frames.pop()
+        thread = self.thread
+        thread.frames.pop()
+        thread.stack_token = next(_stack_token_counter)
         if self.saved_gen is not None:
-            self.thread.target_gen = self.saved_gen
+            thread.target_gen = self.saved_gen
 
 
 class SimThread:
@@ -55,6 +68,8 @@ class SimThread:
         #: NG2C thread-local target generation, as a *profile index*
         #: (0 = young).  ``@Gen`` allocation sites pretenure into this.
         self.target_gen = 0
+        #: Current stack-shape token; refreshed on every push/pop.
+        self.stack_token = next(_stack_token_counter)
 
     # -- frame management -------------------------------------------------------
 

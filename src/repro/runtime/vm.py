@@ -98,8 +98,20 @@ class VM:
         trace: tuple = ()
         trace_id = 0
         if site.record_hook and self._alloc_listeners:
-            trace = thread.current_stack_trace()
-            trace_id = self.sites.trace_id(trace)
+            # Interned-trace fast path: the stack token pins the whole
+            # frame stack (shape and caller lines), and the innermost line
+            # is this site's own, so a token hit reuses the captured trace
+            # and its interned id without touching a single frame.
+            token = thread.stack_token
+            if site.cached_trace_token == token:
+                trace = site.cached_trace
+                trace_id = site.cached_trace_id
+            else:
+                trace = thread.current_stack_trace()
+                trace_id = self.sites.trace_id(trace)
+                site.cached_trace = trace
+                site.cached_trace_id = trace_id
+                site.cached_trace_token = token
         try:
             obj = self._heap_alloc(size, gen_id, site_id, trace_id, refs)
         except OutOfMemoryError:

@@ -59,8 +59,10 @@ class CRIUEngine:
                 pages no-need.
             time_ms: virtual time of the checkpoint.
         """
-        pages = heap.page_table.snapshot_candidate_pages()
-        size_bytes = len(pages) * heap.page_size
+        # Only the count matters for image size/time; counting flag bytes
+        # is one C pass, no page-index list is materialized.
+        pages_written = heap.page_table.snapshot_candidate_count()
+        size_bytes = pages_written * heap.page_size
         duration_us = (
             self.costs.criu_fixed_us
             + self.costs.criu_write_kib_us * (size_bytes / 1024.0)
@@ -73,7 +75,7 @@ class CRIUEngine:
             seq=self._seq,
             time_ms=time_ms,
             engine=self.name,
-            pages_written=len(pages),
+            pages_written=pages_written,
             size_bytes=size_bytes,
             duration_us=duration_us,
             incremental=self._seq > 1,

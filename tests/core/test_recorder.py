@@ -1,11 +1,15 @@
 """Unit tests for the Recorder agent and allocation records."""
 
+import dataclasses
+import os
+
 import pytest
 
 from repro.config import SimConfig
 from repro.core.dumper import Dumper
 from repro.core.recorder import AllocationRecords, Recorder
 from repro.errors import ProfileFormatError
+from repro.gc.g1 import G1Collector
 from repro.gc.ng2c import NG2CCollector
 from repro.runtime.code import ClassModel
 from repro.runtime.vm import VM
@@ -30,7 +34,7 @@ class TestAllocationRecords:
         t2 = records.log(trace, 2)
         assert t1 == t2
         assert records.trace_count == 1
-        assert records.streams[t1] == [1, 2]
+        assert list(records.streams[t1]) == [1, 2]
         assert records.total_allocations == 2
 
     def test_distinct_traces_distinct_streams(self):
@@ -54,6 +58,55 @@ class TestAllocationRecords:
         with pytest.raises(ProfileFormatError):
             AllocationRecords.load_from_dir(str(tmp_path / "nope"))
 
+    def test_flush_writes_single_streams_file(self, tmp_path):
+        records = AllocationRecords()
+        for line in range(40):
+            records.log((("C", "m", line),), line)
+        records.flush_to_dir(str(tmp_path))
+        names = sorted(os.listdir(str(tmp_path)))
+        assert names == ["streams.bin", "traces.json"]
+
+    def test_load_legacy_per_trace_layout(self, tmp_path):
+        # Write the historical layout by hand: traces.json plus one
+        # stream_<tid>.ids text file per trace.
+        (tmp_path / "traces.json").write_text(
+            '{"1": [["C", "m", 10]], "2": [["C", "n", 20]]}'
+        )
+        (tmp_path / "stream_1.ids").write_text("5\n6\n7")
+        (tmp_path / "stream_2.ids").write_text("8")
+        loaded = AllocationRecords.load_from_dir(str(tmp_path))
+        assert loaded.traces == {1: (("C", "m", 10),), 2: (("C", "n", 20),)}
+        assert list(loaded.streams[1]) == [5, 6, 7]
+        assert list(loaded.streams[2]) == [8]
+
+    def test_load_legacy_missing_stream_file_is_empty(self, tmp_path):
+        (tmp_path / "traces.json").write_text('{"1": [["C", "m", 10]]}')
+        loaded = AllocationRecords.load_from_dir(str(tmp_path))
+        assert list(loaded.streams[1]) == []
+
+    def test_load_corrupt_streams_file_raises(self, tmp_path):
+        records = AllocationRecords()
+        records.log((("C", "m", 10),), 1)
+        records.flush_to_dir(str(tmp_path))
+        blob = (tmp_path / "streams.bin").read_bytes()
+        (tmp_path / "streams.bin").write_bytes(blob[:-4])  # truncate
+        with pytest.raises(ProfileFormatError):
+            AllocationRecords.load_from_dir(str(tmp_path))
+        (tmp_path / "streams.bin").write_bytes(b"NOTMAGIC" + blob[8:])
+        with pytest.raises(ProfileFormatError):
+            AllocationRecords.load_from_dir(str(tmp_path))
+
+    def test_int_keyed_fast_path_matches_log(self):
+        """intern_trace + append must number and store identically to log."""
+        slow = AllocationRecords()
+        fast = AllocationRecords()
+        traces = [(("C", "m", line),) for line in (1, 2, 1, 3, 2, 1)]
+        for oid, trace in enumerate(traces):
+            slow.log(trace, oid)
+            fast.append(fast.intern_trace(trace), oid)
+        assert slow.traces == fast.traces
+        assert slow.streams == fast.streams
+
 
 class TestRecorderInstrumentation:
     def test_all_sites_record_hooked_at_load(self):
@@ -70,7 +123,7 @@ class TestRecorderInstrumentation:
         assert recorder.records.total_allocations == 1
         trace_id = next(iter(recorder.records.streams))
         assert recorder.records.traces[trace_id] == (("C", "m", 10),)
-        assert recorder.records.streams[trace_id] == [obj.object_id]
+        assert list(recorder.records.streams[trace_id]) == [obj.object_id]
 
     def test_logging_charges_mutator_time(self):
         vm, recorder, _ = build_vm_with_recorder()
@@ -121,3 +174,48 @@ class TestSnapshotTriggering:
     def test_invalid_snapshot_every(self):
         with pytest.raises(ValueError):
             Recorder(snapshot_every=0)
+
+
+class TestSingleFullTracePerSnapshot:
+    """Satellite: a partial (remembered-set) collection must not cause the
+    heap to be fully traced twice at the same safepoint — the Recorder's
+    snapshot trace is adopted by the collector and reused."""
+
+    def build(self):
+        config = dataclasses.replace(SimConfig.small(), use_remembered_sets=True)
+        vm = VM(config, collector=G1Collector())
+        recorder = Recorder(snapshot_every=1)
+        dumper = Dumper(vm)
+        recorder.attach(vm, dumper)
+        model = ClassModel("C")
+        model.add_method("m").add_alloc_site(10, "Obj", 512)
+        vm.classloader.load(model)
+        return vm, recorder, dumper
+
+    def test_at_most_one_full_trace_per_snapshot(self):
+        vm, _, dumper = self.build()
+        thread = vm.new_thread("t")
+        with thread.entry("C", "m"):
+            count = 0
+            while dumper.snapshots_taken < 5:
+                count += 1
+                # Keep every 8th object live so traces and evacuations
+                # have real work and the remembered set stays populated.
+                thread.alloc(10, keep=count % 8 == 0)
+        assert vm.heap.partial_trace_count >= 1, "remset young traces expected"
+        assert vm.heap.full_trace_count <= dumper.snapshots_taken
+
+    def test_mixed_collection_reuses_recorder_trace(self):
+        vm, _, dumper = self.build()
+        thread = vm.new_thread("t")
+        with thread.entry("C", "m"):
+            count = 0
+            while vm.collector.cycles == 0:
+                count += 1
+                thread.alloc(10, keep=count % 8 == 0)
+            # The young pause just ran: partial trace, then the Recorder's
+            # snapshot full-traced through the collector (adoption).
+            assert not vm.collector.last_trace_was_partial
+            traces_before = vm.heap.full_trace_count
+            vm.collector.collect_mixed()
+            assert vm.heap.full_trace_count == traces_before

@@ -48,6 +48,25 @@ class TestAddressing:
     def test_pages_for_empty_range(self, table):
         assert list(table.pages_for_range(0, 0)) == []
 
+    def test_pages_for_negative_range(self, table):
+        assert list(table.pages_for_range(0, -1)) == []
+        assert list(table.pages_for_range(8 * 4096, -4096)) == []
+
+    def test_range_touching_last_page(self, table):
+        assert list(table.pages_for_range(15 * 4096, 4096)) == [15]
+        assert list(table.pages_for_range(14 * 4096 + 1, 2 * 4096 - 1)) == [14, 15]
+
+    def test_range_past_last_page_raises(self, table):
+        with pytest.raises(InvalidAddressError):
+            table.pages_for_range(15 * 4096, 4097)
+
+    def test_partial_trailing_page_is_addressable(self):
+        # 4097 bytes round up to two pages; the tail page is only 1 byte.
+        table = PageTable(address_space_bytes=4097, page_size=4096)
+        assert list(table.pages_for_range(4096, 1)) == [1]
+        table.mark_written_range(4096, 1)
+        assert table.is_dirty(1)
+
 
 class TestDirtyBit:
     def test_fresh_table_is_clean(self, table):
@@ -116,3 +135,82 @@ class TestSnapshotCandidates:
         assert counts.dirty == 2
         assert counts.no_need == 2
         assert counts.dirty_and_no_need == 1
+
+    def test_candidate_count_matches_candidate_list(self, table):
+        table.mark_dirty_pages([0, 1, 2, 3])
+        table.set_no_need([1, 3, 8])
+        assert table.snapshot_candidate_count() == len(
+            table.snapshot_candidate_pages()
+        )
+
+    def test_clear_dirty_preserves_no_need(self, table):
+        table.mark_dirty_pages([0, 1])
+        table.set_no_need([1, 2])
+        assert table.clear_dirty() == 2
+        assert table.no_need_pages() == [1, 2]
+        assert table.dirty_pages() == []
+
+
+class TestRewriteNoNeed:
+    def test_marks_complement_of_needed(self, table):
+        needed = bytearray(table.num_pages)
+        needed[3] = 1
+        needed[7] = 1
+        marked = table.rewrite_no_need(needed)
+        assert marked == 14
+        assert table.no_need_pages() == [p for p in range(16) if p not in (3, 7)]
+
+    def test_replaces_stale_advice(self, table):
+        table.set_no_need([5])
+        needed = bytearray(table.num_pages)
+        needed[5] = 1  # page 5 now holds live data
+        table.rewrite_no_need(needed)
+        assert not table.is_no_need(5)
+        assert table.is_no_need(4)
+
+    def test_preserves_dirty_bits(self, table):
+        table.mark_dirty_pages([0, 5])
+        needed = bytearray(table.num_pages)
+        needed[0] = 1
+        table.rewrite_no_need(needed)
+        assert table.is_dirty(0) and table.is_dirty(5)
+        assert not table.is_no_need(0)
+        assert table.is_no_need(5)
+
+    def test_rejects_wrong_size_map(self, table):
+        with pytest.raises(ValueError):
+            table.rewrite_no_need(bytearray(table.num_pages - 1))
+
+
+class TestOccupancy:
+    def test_track_and_untrack(self, table):
+        table.track_object(100, 200)
+        assert table.occupancy(0) == 1
+        table.track_object(0, 4096)
+        assert table.occupancy(0) == 2
+        table.untrack_object(100, 200)
+        assert table.occupancy(0) == 1
+        table.untrack_object(0, 4096)
+        assert table.occupied_pages() == []
+
+    def test_spanning_object_counts_on_every_page(self, table):
+        table.track_object(4000, 5000)  # pages 0..2
+        assert [table.occupancy(p) for p in (0, 1, 2, 3)] == [1, 1, 1, 0]
+        table.untrack_object(4000, 5000)
+        assert table.occupied_pages() == []
+
+    def test_zero_length_is_noop(self, table):
+        table.track_object(0, 0)
+        table.untrack_object(0, 0)
+        assert table.occupied_pages() == []
+
+    def test_object_spanning_last_page(self, table):
+        # An allocation whose extent ends exactly at the address-space end.
+        table.track_object(15 * 4096, 4096)
+        assert table.occupancy(15) == 1
+        assert table.occupied_pages() == [15]
+
+    def test_occupancy_on_partial_trailing_page(self):
+        table = PageTable(address_space_bytes=4096 + 100, page_size=4096)
+        table.track_object(4096, 100)
+        assert table.occupancy(1) == 1

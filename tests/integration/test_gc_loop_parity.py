@@ -1,0 +1,59 @@
+"""Byte-for-byte parity of the fast-pathed inner loop against the seed.
+
+The golden file was generated from the pre-optimization implementation
+(tuple-hashing allocation logging, per-cycle liveness sets, per-page
+no-need rescans).  Every scenario digest — allocation profiles, GC pause
+series, snapshot contents — must match exactly.
+
+Regenerate (only when *intentionally* changing simulation semantics) with:
+
+    REPRO_REGEN_GOLDEN=1 PYTHONPATH=src python -m pytest \
+        tests/integration/test_gc_loop_parity.py -q
+"""
+
+import json
+import os
+
+import pytest
+
+from tests.integration.parity_harness import SCENARIOS, run_scenario
+
+GOLDEN_PATH = os.path.join(
+    os.path.dirname(__file__), "golden_gc_loop_parity.json"
+)
+
+
+def _load_golden():
+    with open(GOLDEN_PATH) as handle:
+        return json.load(handle)
+
+
+@pytest.mark.parametrize(
+    "scenario", SCENARIOS, ids=["-".join(map(str, s[:2])) for s in SCENARIOS]
+)
+def test_scenario_matches_golden(scenario):
+    if os.environ.get("REPRO_REGEN_GOLDEN"):
+        pytest.skip("regenerating goldens in the session-scoped writer")
+    golden = _load_golden()
+    key = "-".join(map(str, scenario))
+    assert key in golden, f"no golden recorded for {key}"
+    digest = run_scenario(*scenario)
+    expected = golden[key]
+    # Compare section by section so a failure names the divergent layer.
+    assert digest["records"] == expected["records"], "allocation profile drift"
+    assert digest["pauses"] == expected["pauses"], "GC pause series drift"
+    assert digest["snapshots"] == expected["snapshots"], "snapshot content drift"
+    assert digest["end_state"] == expected["end_state"], "accounting drift"
+
+
+def test_regenerate_goldens():
+    """Writer: only active under REPRO_REGEN_GOLDEN=1."""
+    if not os.environ.get("REPRO_REGEN_GOLDEN"):
+        pytest.skip("set REPRO_REGEN_GOLDEN=1 to rewrite the golden file")
+    golden = {
+        "-".join(map(str, scenario)): run_scenario(*scenario)
+        for scenario in SCENARIOS
+    }
+    with open(GOLDEN_PATH, "w") as handle:
+        json.dump(golden, handle, indent=2, sort_keys=True)
+        handle.write("\n")
