@@ -38,7 +38,14 @@ from repro.errors import ReproError
 from repro.gc.c4 import C4Collector
 from repro.gc.g1 import G1Collector
 from repro.gc.ng2c import NG2CCollector
+from repro.runtime.events import VMAgent
 from repro.runtime.vm import VM
+from repro.strategies import (
+    StrategySpec,
+    get_strategy,
+    register_strategy,
+    strategy_names,
+)
 from repro.workloads import make_workload, WORKLOAD_NAMES
 
 __version__ = "1.0.0"
@@ -56,8 +63,13 @@ __all__ = [
     "ReproError",
     "STTree",
     "SimConfig",
+    "StrategySpec",
     "VM",
+    "VMAgent",
     "WORKLOAD_NAMES",
+    "get_strategy",
     "make_workload",
+    "register_strategy",
+    "strategy_names",
     "__version__",
 ]

@@ -22,7 +22,9 @@ import os
 import sys
 
 from repro import AllocationProfile, POLM2Pipeline, WORKLOAD_NAMES, make_workload
+from repro.errors import ReproError
 from repro.experiments.runner import ExperimentRunner, ExperimentSettings
+from repro.strategies import get_strategy, strategy_names
 
 
 def cmd_workloads(_args) -> int:
@@ -73,7 +75,9 @@ def cmd_analyze(args) -> int:
 
 def cmd_run(args) -> int:
     pipeline = POLM2Pipeline(lambda: make_workload(args.workload, seed=args.seed))
-    if args.strategy == "polm2":
+    spec = get_strategy(args.strategy)
+    profile = None
+    if spec.needs_profile:
         if args.profile:
             profile = AllocationProfile.load(args.profile)
         else:
@@ -81,13 +85,7 @@ def cmd_run(args) -> int:
             profile = pipeline.run_profiling_phase(
                 duration_ms=args.duration_ms / 2
             )
-        result = pipeline.run_production_phase(
-            profile, duration_ms=args.duration_ms
-        )
-    else:
-        result = pipeline.run_baseline(
-            args.strategy, duration_ms=args.duration_ms
-        )
+    result = pipeline.run(spec, duration_ms=args.duration_ms, profile=profile)
     print(result.pause_report())
     print(f"throughput: {result.throughput_ops_s:.0f} ops/s")
     print(f"peak memory: {result.peak_memory_bytes / 2**20:.1f} MiB")
@@ -141,9 +139,11 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_run = sub.add_parser("run", help="run production phase or a baseline")
     p_run.add_argument("workload", choices=WORKLOAD_NAMES)
+    # Choices come from the strategy registry: registering a new
+    # StrategySpec makes it runnable here with zero CLI edits.
     p_run.add_argument(
         "--strategy",
-        choices=("polm2", "g1", "ng2c", "ng2c-unannotated", "c4"),
+        choices=strategy_names(),
         default="polm2",
     )
     p_run.add_argument("--profile", help="allocation profile JSON")
@@ -178,7 +178,11 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

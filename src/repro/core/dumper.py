@@ -10,8 +10,10 @@ to jmap.
 
 from __future__ import annotations
 
-from typing import Iterable, Optional, TYPE_CHECKING
+from typing import Dict, Iterable, Optional, TYPE_CHECKING
 
+from repro.errors import ReproError
+from repro.runtime.events import SnapshotPointEvent, VMAgent
 from repro.snapshot.criu import CRIUEngine
 from repro.snapshot.snapshot import Snapshot, SnapshotStore
 
@@ -20,24 +22,51 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.runtime.vm import VM
 
 
-class Dumper:
-    """Creates incremental memory snapshots of the profiled VM."""
+class Dumper(VMAgent):
+    """Creates incremental memory snapshots of the profiled VM.
+
+    An agent subscribed to ``SNAPSHOT_POINT`` events published by the
+    Recorder; construct without a VM and ``vm.attach_agent(dumper)``
+    (the legacy ``Dumper(vm)`` form still works for direct use).
+    """
 
     def __init__(
         self,
-        vm: "VM",
+        vm: Optional["VM"] = None,
         store: Optional[SnapshotStore] = None,
         delta_encode: bool = True,
     ) -> None:
         self.vm = vm
-        self.engine = CRIUEngine(vm.config.costs, delta_encode=delta_encode)
+        self.delta_encode = delta_encode
+        self.engine: Optional[CRIUEngine] = None
+        if vm is not None:
+            self.engine = CRIUEngine(vm.config.costs, delta_encode=delta_encode)
         # NOTE: an explicit identity check — a freshly created store is
         # empty and therefore falsy, so ``store or SnapshotStore()`` would
         # silently discard a caller-provided store.
         self.store = store if store is not None else SnapshotStore()
 
+    # -- agent lifecycle -----------------------------------------------------------
+
+    def on_attach(self, vm: "VM") -> None:
+        self.vm = vm
+        if self.engine is None:
+            self.engine = CRIUEngine(
+                vm.config.costs, delta_encode=self.delta_encode
+            )
+
+    def on_snapshot_point(self, event: SnapshotPointEvent) -> None:
+        self.take_snapshot(event.live)
+
+    def telemetry(self) -> Dict[str, int]:
+        return {"snapshots_taken": self.snapshots_taken}
+
+    # -- snapshotting ---------------------------------------------------------------
+
     def take_snapshot(self, live_objects: Iterable["HeapObject"]) -> Snapshot:
         """Checkpoint now; the application is stopped for the duration."""
+        if self.vm is None or self.engine is None:
+            raise ReproError("Dumper is not attached to a VM")
         snapshot = self.engine.checkpoint(
             self.vm.heap, live_objects, self.vm.clock.now_ms
         )

@@ -29,15 +29,15 @@ from repro.core.analyzer import survival_to_generation
 from repro.core.profile import AllocationProfile
 from repro.core.recorder import AllocationRecords
 from repro.core.sttree import STTree
-from repro.gc.events import GCPause
 from repro.runtime.code import AllocSite, ClassModel
+from repro.runtime.events import GCEndEvent, VMAgent
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.heap.objects import HeapObject
     from repro.runtime.vm import VM
 
 
-class ExactLifetimeTracer:
+class ExactLifetimeTracer(VMAgent):
     """Exact lifetime profiler: precise, and proportionally expensive."""
 
     def __init__(self, min_samples: int = 8) -> None:
@@ -56,13 +56,26 @@ class ExactLifetimeTracer:
 
     # -- agent lifecycle -----------------------------------------------------------
 
-    def attach(self, vm: "VM") -> None:
+    def on_attach(self, vm: "VM") -> None:
         self.vm = vm
-        vm.classloader.add_transformer(self)
-        vm.add_alloc_listener(self._on_alloc)
+        # Reference-write observation is a heap-level seam (Merlin's
+        # per-pointer-write tax), not a VM event — wired here directly.
         vm.heap.ref_write_listeners.append(self._on_ref_update)
-        if vm.collector is not None:
-            vm.collector.add_cycle_listener(self._on_gc_cycle)
+
+    def on_detach(self, vm: "VM") -> None:
+        vm.heap.ref_write_listeners.remove(self._on_ref_update)
+        self.vm = None
+
+    def attach(self, vm: "VM") -> None:
+        """Legacy seam: register through ``vm.attach_agent``."""
+        vm.attach_agent(self)
+
+    def telemetry(self) -> Dict[str, int]:
+        return {
+            "allocations_logged": self.records.total_allocations,
+            "ref_updates_observed": self.ref_updates_observed,
+            "objects_reprocessed": self.objects_reprocessed,
+        }
 
     # -- ClassFileTransformer ---------------------------------------------------------
 
@@ -74,7 +87,9 @@ class ExactLifetimeTracer:
 
     # -- hooks -------------------------------------------------------------------------
 
-    def _on_alloc(self, obj: "HeapObject", site: AllocSite, trace: tuple) -> None:
+    def on_allocation(
+        self, obj: "HeapObject", site: AllocSite, trace: tuple
+    ) -> None:
         self.records.log(trace, obj.object_id)
         cycle = self.vm.collector.cycles if self.vm.collector else 0
         self.birth_cycle[obj.object_id] = cycle
@@ -87,7 +102,8 @@ class ExactLifetimeTracer:
         self.ref_updates_observed += 1
         self.vm.clock.advance_us(self.vm.config.costs.exact_ref_update_us)
 
-    def _on_gc_cycle(self, pause: GCPause) -> None:
+    def on_gc_end(self, event: GCEndEvent) -> None:
+        pause = event.pause
         collector = self.vm.collector
         live_ids = {obj.object_id for obj in collector.last_live_objects}
         # Re-process the reachable set (trace replay) — charged per object.

@@ -24,12 +24,13 @@ from typing import Optional, TYPE_CHECKING
 from repro.core.profile import AllocationProfile
 from repro.errors import PretenuringUnsupportedError
 from repro.runtime.code import ClassModel
+from repro.runtime.events import VMAgent
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.runtime.vm import VM
 
 
-class Instrumenter:
+class Instrumenter(VMAgent):
     """Applies an :class:`AllocationProfile` at class-load time."""
 
     def __init__(self, profile: AllocationProfile) -> None:
@@ -42,18 +43,31 @@ class Instrumenter:
 
     # -- agent lifecycle ---------------------------------------------------------
 
-    def attach(self, vm: "VM") -> None:
-        """Register with the class loader and pre-create generations."""
-        self.vm = vm
+    def on_attach(self, vm: "VM") -> None:
+        """Validate the collector and pre-create the profile's generations.
+
+        Raising here (no pretenuring API) happens before the VM registers
+        anything, so a failed attach leaves the VM untouched.
+        """
         collector = vm.collector
         if collector is None or not collector.supports_pretenuring:
             raise PretenuringUnsupportedError(
                 "the Instrumenter requires a collector with a pretenuring "
                 "API (NG2C); attach one before the Instrumenter"
             )
+        self.vm = vm
         for index in sorted(self.profile.generation_indexes):
             collector.ensure_generation(index)
-        vm.classloader.add_transformer(self)
+
+    def telemetry(self) -> dict:
+        return {
+            "instrumented_alloc_sites": self.applied_alloc_sites,
+            "instrumented_call_sites": self.applied_call_sites,
+        }
+
+    def attach(self, vm: "VM") -> None:
+        """Legacy seam: register through ``vm.attach_agent``."""
+        vm.attach_agent(self)
 
     # -- ClassTransformer -----------------------------------------------------------
 

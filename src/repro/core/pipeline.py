@@ -20,22 +20,22 @@ from __future__ import annotations
 
 import dataclasses
 import json
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Union
 
 from repro.config import SimConfig
 from repro.core.analyzer import Analyzer
 from repro.core.dumper import Dumper
-from repro.core.instrumenter import Instrumenter
 from repro.core.profile import AllocationProfile
 from repro.core.recorder import Recorder
 from repro.errors import ReproError
 from repro.gc.base import GenerationalCollector
-from repro.gc.c4 import C4Collector
 from repro.gc.events import GCPause
-from repro.gc.g1 import G1Collector
 from repro.gc.ng2c import NG2CCollector
 from repro.runtime.vm import VM
 from repro.snapshot.snapshot import SnapshotStore
+from repro.strategies.agents import TelemetryAgent
+from repro.strategies.builtin import _polm2_agents
+from repro.strategies.spec import StrategyContext, StrategySpec, get_strategy
 from repro.workloads.base import Workload
 
 #: Factory producing a fresh workload instance per phase (phases must not
@@ -62,6 +62,9 @@ class PhaseResult:
     throughput_timeline: List[float]
     snapshots: Optional[SnapshotStore] = None
     profile: Optional[AllocationProfile] = None
+    #: Merged per-agent counters from every attached agent's
+    #: ``telemetry()`` (allocations logged, snapshots taken, ...).
+    telemetry: Optional[Dict[str, int]] = None
 
     @property
     def throughput_ops_s(self) -> float:
@@ -105,6 +108,7 @@ class PhaseResult:
                 if self.profile is None
                 else json.loads(self.profile.to_json())
             ),
+            "telemetry": self.telemetry,
         }
 
     @classmethod
@@ -134,6 +138,7 @@ class PhaseResult:
             throughput_timeline=[float(v) for v in payload["throughput_timeline"]],
             snapshots=snapshots,
             profile=profile,
+            telemetry=payload.get("telemetry"),
         )
 
 
@@ -162,6 +167,7 @@ class POLM2Pipeline:
 
         Returns the per-second throughput timeline.
         """
+        workload.vm = vm
         for model in workload.class_models():
             vm.classloader.load(model)
         workload.setup(vm)
@@ -188,6 +194,7 @@ class POLM2Pipeline:
         timeline: List[float],
         snapshots: Optional[SnapshotStore] = None,
         profile: Optional[AllocationProfile] = None,
+        telemetry: Optional[Dict[str, int]] = None,
     ) -> PhaseResult:
         peak = vm.heap.peak_committed_bytes
         if getattr(collector, "pre_reserves_memory", False):
@@ -204,6 +211,66 @@ class POLM2Pipeline:
             throughput_timeline=timeline,
             snapshots=snapshots,
             profile=profile,
+            telemetry=telemetry,
+        )
+
+    @staticmethod
+    def _merged_telemetry(agents: List) -> Dict[str, int]:
+        telemetry: Dict[str, int] = {}
+        for agent in agents:
+            collect = getattr(agent, "telemetry", None)
+            if callable(collect):
+                telemetry.update(collect())
+        return telemetry
+
+    # -- generic strategy driver --------------------------------------------------------
+
+    def run(
+        self,
+        strategy: Union[str, StrategySpec],
+        duration_ms: float = 60_000.0,
+        profile: Optional[AllocationProfile] = None,
+        label: Optional[str] = None,
+    ) -> PhaseResult:
+        """Run the workload under one registered (or ad-hoc) strategy.
+
+        ``strategy`` is a registry name or a :class:`StrategySpec`.
+        Strategies with ``needs_profile`` require ``profile``.  ``label``
+        overrides the strategy name recorded in the result.
+        """
+        spec = (
+            strategy
+            if isinstance(strategy, StrategySpec)
+            else get_strategy(strategy)
+        )
+        if spec.needs_profile and profile is None:
+            raise ReproError(
+                f"strategy {spec.name!r} needs an allocation profile; "
+                "run a profiling phase first or pass a saved profile"
+            )
+        workload = self.workload_factory()
+        collector = spec.collector_factory()
+        vm = VM(self.config, collector=collector)
+        context = StrategyContext(
+            vm=vm,
+            workload=workload,
+            collector=collector,
+            config=self.config,
+            profile=profile if spec.needs_profile else None,
+        )
+        agents = list(spec.build_agents(context))
+        agents.append(TelemetryAgent())
+        for agent in agents:
+            vm.attach_agent(agent)
+        timeline = self._drive(vm, workload, duration_ms)
+        return self._result(
+            label or spec.name,
+            workload,
+            vm,
+            collector,
+            timeline,
+            profile=profile if spec.needs_profile else None,
+            telemetry=self._merged_telemetry(agents),
         )
 
     # -- profiling phase ---------------------------------------------------------------
@@ -224,8 +291,11 @@ class POLM2Pipeline:
         collector = NG2CCollector()
         vm = VM(self.config, collector=collector)
         recorder = Recorder(snapshot_every=self.snapshot_every)
-        dumper = Dumper(vm)
-        recorder.attach(vm, dumper)
+        dumper = Dumper()
+        recorder.dumper = dumper
+        agents = [recorder, dumper, TelemetryAgent()]
+        for agent in agents:
+            vm.attach_agent(agent)
         timeline = self._drive(vm, workload, duration_ms)
         analyzer = Analyzer(
             recorder.records,
@@ -243,6 +313,7 @@ class POLM2Pipeline:
                     timeline,
                     snapshots=dumper.store,
                     profile=profile,
+                    telemetry=self._merged_telemetry(agents),
                 )
             )
         return profile
@@ -262,17 +333,17 @@ class POLM2Pipeline:
         implementing the pretenuring API (paper §4.5: POLM2 is
         GC-independent) — e.g.
         :class:`repro.gc.binary.BinaryPretenuringCollector` for the
-        Memento-style single-tenured-space ablation.
+        Memento-style single-tenured-space ablation.  Prefer registering
+        a :class:`~repro.strategies.StrategySpec` and calling
+        :meth:`run`; this shim builds an ad-hoc spec.
         """
-        workload = self.workload_factory()
-        collector = collector_factory()
-        vm = VM(self.config, collector=collector)
-        instrumenter = Instrumenter(profile)
-        instrumenter.attach(vm)
-        timeline = self._drive(vm, workload, duration_ms)
-        return self._result(
-            strategy, workload, vm, collector, timeline, profile=profile
+        spec = StrategySpec(
+            name=strategy,
+            collector_factory=collector_factory,
+            needs_profile=True,
+            build_agents=_polm2_agents,
         )
+        return self.run(spec, duration_ms=duration_ms, profile=profile)
 
     # -- baselines ------------------------------------------------------------------------
 
@@ -283,34 +354,7 @@ class POLM2Pipeline:
 
         ``ng2c`` means NG2C with the workload's *manual* annotations (the
         paper's "NG2C" bars); plain unannotated NG2C behaves like G1 and
-        is available as ``ng2c-unannotated`` for ablations.
+        is available as ``ng2c-unannotated`` for ablations.  Resolves
+        through the strategy registry (:meth:`run`).
         """
-        workload = self.workload_factory()
-        collector: GenerationalCollector
-        instrumenter: Optional[Instrumenter] = None
-        if strategy == "g1":
-            collector = G1Collector()
-        elif strategy == "c4":
-            collector = C4Collector()
-        elif strategy == "ng2c":
-            collector = NG2CCollector()
-            manual = workload.manual_ng2c()
-            if manual is None:
-                raise ReproError(
-                    f"workload {workload.name!r} has no manual NG2C strategy"
-                )
-            instrumenter = Instrumenter(manual.as_profile(workload.name))
-            if manual.rotate_generation_on_flush:
-                index = manual.rotating_index
-                workload.flush_hooks.append(
-                    lambda c=collector, i=index: c.rotate_generation(i)
-                )
-        elif strategy == "ng2c-unannotated":
-            collector = NG2CCollector()
-        else:
-            raise ReproError(f"unknown baseline strategy {strategy!r}")
-        vm = VM(self.config, collector=collector)
-        if instrumenter is not None:
-            instrumenter.attach(vm)
-        timeline = self._drive(vm, workload, duration_ms)
-        return self._result(strategy, workload, vm, collector, timeline)
+        return self.run(strategy, duration_ms=duration_ms)

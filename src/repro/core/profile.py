@@ -168,8 +168,14 @@ class AllocationProfile:
 
     @classmethod
     def load(cls, path: str) -> "AllocationProfile":
-        with open(path) as handle:
-            return cls.from_json(handle.read())
+        try:
+            with open(path) as handle:
+                text = handle.read()
+        except OSError as exc:
+            raise ProfileFormatError(
+                f"cannot read profile {path!r}: {exc}"
+            ) from exc
+        return cls.from_json(text)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -21,8 +21,13 @@ from array import array
 from typing import Dict, List, Optional, Tuple, TYPE_CHECKING
 
 from repro.errors import ProfileFormatError
-from repro.gc.events import GCPause
 from repro.runtime.code import AllocSite, ClassModel, CodeLocation
+from repro.runtime.events import (
+    SNAPSHOT_POINT,
+    GCEndEvent,
+    SnapshotPointEvent,
+    VMAgent,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.core.dumper import Dumper
@@ -170,8 +175,14 @@ class AllocationRecords:
             self.streams[trace_id] = stream
 
 
-class Recorder:
-    """The profiling-phase agent: class transformer + allocation logger."""
+class Recorder(VMAgent):
+    """The profiling-phase agent: class transformer + allocation logger.
+
+    As a :class:`~repro.runtime.events.VMAgent` it subscribes to raw
+    allocations and ``GC_END``; when a cycle ends on a snapshot period it
+    marks no-need pages and publishes ``SNAPSHOT_POINT``, which the
+    Dumper (a sibling agent) consumes.
+    """
 
     def __init__(self, snapshot_every: int = 1, mark_no_need: bool = True) -> None:
         if snapshot_every < 1:
@@ -193,18 +204,28 @@ class Recorder:
 
     # -- agent lifecycle -----------------------------------------------------------
 
+    def on_attach(self, vm: "VM") -> None:
+        self.vm = vm
+
+    def on_detach(self, vm: "VM") -> None:
+        self.vm = None
+
     def attach(self, vm: "VM", dumper: Optional["Dumper"] = None) -> None:
-        """Attach to the VM: register transformer, alloc hook, cycle hook.
+        """Legacy seam: attach this Recorder (and its Dumper) as agents.
 
         Must run before workload classes are loaded, exactly as a
         ``-javaagent`` must be present at JVM launch.
         """
-        self.vm = vm
         self.dumper = dumper
-        vm.classloader.add_transformer(self)
-        vm.add_alloc_listener(self._on_alloc)
-        if vm.collector is not None:
-            vm.collector.add_cycle_listener(self._on_gc_cycle)
+        vm.attach_agent(self)
+        if dumper is not None:
+            vm.attach_agent(dumper)
+
+    def telemetry(self) -> Dict[str, int]:
+        return {
+            "allocations_logged": self.records.total_allocations,
+            "traces_interned": self.records.trace_count,
+        }
 
     # -- ClassTransformer ------------------------------------------------------------
 
@@ -217,7 +238,9 @@ class Recorder:
 
     # -- allocation callback -----------------------------------------------------------
 
-    def _on_alloc(self, obj: "HeapObject", site: AllocSite, trace: tuple) -> None:
+    def on_allocation(
+        self, obj: "HeapObject", site: AllocSite, trace: tuple
+    ) -> None:
         vm_trace_id = obj.trace_id
         if vm_trace_id:
             record_id = self._record_ids_by_vm_trace.get(vm_trace_id)
@@ -238,14 +261,19 @@ class Recorder:
 
     # -- GC cycle callback ----------------------------------------------------------------
 
-    def _on_gc_cycle(self, pause: GCPause) -> None:
+    def on_gc_end(self, event: GCEndEvent) -> None:
+        pause = event.pause
         self._cycles_since_snapshot += 1
         if self._cycles_since_snapshot < self.snapshot_every:
             return
         self._cycles_since_snapshot = 0
-        if self.dumper is None or self.vm is None:
+        vm = self.vm
+        if vm is None or not vm.events.has_listeners(SNAPSHOT_POINT):
+            # Nobody consumes snapshot points (no Dumper attached): skip
+            # the no-need marking and the checkpoint entirely, exactly as
+            # the historical ``dumper is None`` early-out did.
             return
-        collector = self.vm.collector
+        collector = vm.collector
         live = collector.last_live_objects if collector is not None else []
         if collector is not None and collector.last_trace_was_partial:
             # Remembered-set collections only establish young liveness;
@@ -258,5 +286,7 @@ class Recorder:
         if self.mark_no_need:
             # §4.1: before signalling the Dumper, traverse the heap and set
             # the no-need bit on every page with no live objects (madvise).
-            self.vm.heap.mark_unused_pages_no_need(live)
-        self.dumper.take_snapshot(live)
+            vm.heap.mark_unused_pages_no_need(live)
+        vm.events.publish(
+            SNAPSHOT_POINT, SnapshotPointEvent(pause=pause, live=live)
+        )

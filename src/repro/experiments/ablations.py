@@ -64,8 +64,8 @@ def run_push_up_ablation(
         profile = pipeline.run_profiling_phase(
             duration_ms=profiling_ms, push_up=push_up
         )
-        results[push_up] = pipeline.run_production_phase(
-            profile, duration_ms=production_ms
+        results[push_up] = pipeline.run(
+            "polm2", duration_ms=production_ms, profile=profile
         )
     return PushUpAblation(
         workload=workload,
@@ -150,7 +150,7 @@ def run_sttree_ablation(
             workload_factory=lambda w=workload, s=seed: make_workload(w, seed=s),
             config=SimConfig(seed=seed),
         )
-        return pipeline.run_production_phase(profile, duration_ms=production_ms)
+        return pipeline.run("polm2", duration_ms=production_ms, profile=profile)
 
     with_tree = production(sttree_profile)
     naive = production(naive_profile)
@@ -187,19 +187,17 @@ def run_binary_pretenuring_ablation(
     production_ms: float = 30_000.0,
     seed: int = 42,
 ) -> BinaryPretenuringAblation:
-    from repro.gc.binary import BinaryPretenuringCollector
-
+    # Both cells resolve through the strategy registry: ``polm2-binary``
+    # is a registered first-class strategy (collector swapped, same
+    # agents), not a special-cased pipeline call.
     pipeline = POLM2Pipeline(
         workload_factory=lambda w=workload, s=seed: make_workload(w, seed=s),
         config=SimConfig(seed=seed),
     )
     profile = pipeline.run_profiling_phase(duration_ms=profiling_ms)
-    ng2c = pipeline.run_production_phase(profile, duration_ms=production_ms)
-    binary = pipeline.run_production_phase(
-        profile,
-        duration_ms=production_ms,
-        collector_factory=BinaryPretenuringCollector,
-        strategy="polm2-binary",
+    ng2c = pipeline.run("polm2", duration_ms=production_ms, profile=profile)
+    binary = pipeline.run(
+        "polm2-binary", duration_ms=production_ms, profile=profile
     )
     return BinaryPretenuringAblation(
         workload=workload,
@@ -249,10 +247,10 @@ def run_pause_goal_ablation(
         workload_factory=lambda w=workload, s=seed: make_workload(w, seed=s),
         config=SimConfig(seed=seed, pause_goal_ms=goal_ms),
     )
-    g1 = plain.run_baseline("g1", duration_ms=production_ms)
-    g1_goal = goal_pipeline.run_baseline("g1", duration_ms=production_ms)
+    g1 = plain.run("g1", duration_ms=production_ms)
+    g1_goal = goal_pipeline.run("g1", duration_ms=production_ms)
     profile = plain.run_profiling_phase(duration_ms=profiling_ms)
-    polm2 = plain.run_production_phase(profile, duration_ms=production_ms)
+    polm2 = plain.run("polm2", duration_ms=production_ms, profile=profile)
     return PauseGoalAblation(
         workload=workload,
         goal_ms=goal_ms,
@@ -305,9 +303,7 @@ def run_remset_ablation(
             workload_factory=lambda w=workload, s=seed: make_workload(w, seed=s),
             config=SimConfig(seed=seed, use_remembered_sets=remsets),
         )
-        results[remsets] = pipeline.run_baseline(
-            "g1", duration_ms=production_ms
-        )
+        results[remsets] = pipeline.run("g1", duration_ms=production_ms)
     precise, remset = results[False], results[True]
     return RemsetAblation(
         workload=workload,

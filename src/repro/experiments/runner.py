@@ -39,6 +39,8 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.config import SimConfig
 from repro.core.pipeline import POLM2Pipeline, PhaseResult
 from repro.core.profile import AllocationProfile
+from repro.errors import ReproError
+from repro.strategies import get_strategy
 from repro.workloads import WORKLOAD_NAMES, make_workload
 
 #: Strategy keys as plotted in the paper.
@@ -53,6 +55,30 @@ CACHE_FORMAT = "matrix-cache-v1"
 
 #: The pseudo-strategy key the profiling phase is cached under.
 PROFILING_KEY = "polm2-profiling"
+
+
+def _env_int(name: str, default: int) -> int:
+    raw = os.environ.get(name)
+    if raw is None or raw == "":
+        return default
+    try:
+        return int(raw)
+    except ValueError:
+        raise ReproError(
+            f"environment variable {name} must be an integer, got {raw!r}"
+        ) from None
+
+
+def _env_float(name: str, default: float) -> float:
+    raw = os.environ.get(name)
+    if raw is None or raw == "":
+        return default
+    try:
+        return float(raw)
+    except ValueError:
+        raise ReproError(
+            f"environment variable {name} must be a number, got {raw!r}"
+        ) from None
 
 
 @dataclasses.dataclass
@@ -74,11 +100,17 @@ class ExperimentSettings:
 
     @classmethod
     def from_env(cls) -> "ExperimentSettings":
+        """Build settings from ``REPRO_*`` env vars.
+
+        Raises :class:`~repro.errors.ReproError` (not a bare
+        ``ValueError``) on unparseable values so the CLI can report them
+        as one-line errors.
+        """
         return cls(
-            profiling_ms=float(os.environ.get("REPRO_PROFILE_MS", 30_000)),
-            production_ms=float(os.environ.get("REPRO_PRODUCTION_MS", 60_000)),
-            seed=int(os.environ.get("REPRO_SEED", 42)),
-            jobs=int(os.environ.get("REPRO_JOBS", 1)),
+            profiling_ms=_env_float("REPRO_PROFILE_MS", 30_000.0),
+            production_ms=_env_float("REPRO_PRODUCTION_MS", 60_000.0),
+            seed=_env_int("REPRO_SEED", 42),
+            jobs=_env_int("REPRO_JOBS", 1),
             cache_dir=os.environ.get("REPRO_CACHE_DIR") or None,
         )
 
@@ -195,11 +227,20 @@ def _run_production_cell(
     production_ms: float,
     profile_json: Optional[str],
 ) -> PhaseResult:
+    """Resolve ``strategy`` through the registry and run one cell.
+
+    Workers see only strategies registered at import time (the built-ins
+    plus anything a ``repro.strategies``-importing plugin registers);
+    strategies registered dynamically in the parent process require the
+    serial path (``jobs=1``).
+    """
     pipe = _worker_pipeline(workload, seed)
-    if strategy == "polm2":
-        profile = AllocationProfile.from_json(profile_json)
-        return pipe.run_production_phase(profile, duration_ms=production_ms)
-    return pipe.run_baseline(strategy, duration_ms=production_ms)
+    profile = (
+        AllocationProfile.from_json(profile_json)
+        if profile_json is not None
+        else None
+    )
+    return pipe.run(strategy, duration_ms=production_ms, profile=profile)
 
 
 class ExperimentRunner:
@@ -286,15 +327,12 @@ class ExperimentRunner:
             cell = self._cache_load(workload, strategy)
         if cell is None:
             pipe = self.pipeline(workload)
-            if strategy == "polm2":
-                cell = pipe.run_production_phase(
-                    self.profile(workload),
-                    duration_ms=self.settings.production_ms,
-                )
-            else:
-                cell = pipe.run_baseline(
-                    strategy, duration_ms=self.settings.production_ms
-                )
+            spec = get_strategy(strategy)
+            cell = pipe.run(
+                spec,
+                duration_ms=self.settings.production_ms,
+                profile=self.profile(workload) if spec.needs_profile else None,
+            )
             self._cache_store(workload, strategy, cell)
         self._results[key] = cell
         return cell
@@ -350,14 +388,18 @@ class ExperimentRunner:
     ) -> None:
         """Fill ``self._results`` for the requested block using workers.
 
-        Wave structure: baseline cells and profiling phases are submitted
-        immediately; each workload's ``polm2`` cell is submitted as soon
-        as its profiling phase completes (profiles are shipped to the
-        dependent worker as JSON, computed once per workload).
+        Wave structure: profile-free cells and profiling phases are
+        submitted immediately; every profile-consuming cell of a workload
+        (``needs_profile`` per its :class:`StrategySpec`) is submitted as
+        soon as that workload's profiling phase lands (profiles are
+        shipped to dependent workers as JSON, computed once per
+        workload).
         """
         settings = self.settings
         pending: List[Tuple[str, str]] = []
         needs_profile: List[str] = []
+        #: workload -> profile-consuming strategies waiting on its profile.
+        deferred: Dict[str, List[str]] = {}
         for workload in workloads:
             for strategy in strategies:
                 key = (workload, strategy)
@@ -368,13 +410,18 @@ class ExperimentRunner:
                     self._results[key] = cell
                     continue
                 pending.append(key)
-                if strategy == "polm2" and workload not in needs_profile:
-                    if workload not in self._profiles:
+                if (
+                    get_strategy(strategy).needs_profile
+                    and workload not in self._profiles
+                ):
+                    if workload not in needs_profile:
                         cached = self._cache_load(workload, PROFILING_KEY)
                         if cached is not None and cached.profile is not None:
                             self._adopt_profiling_result(workload, cached)
                         else:
                             needs_profile.append(workload)
+                    if workload in needs_profile:
+                        deferred.setdefault(workload, []).append(strategy)
         if not pending:
             return
 
@@ -389,11 +436,11 @@ class ExperimentRunner:
                 )
                 futures[future] = (workload, PROFILING_KEY)
             for workload, strategy in pending:
-                if strategy == "polm2" and workload in needs_profile:
+                if strategy in deferred.get(workload, ()):
                     continue  # dispatched once the profiling cell lands
                 profile_json = (
                     self._profiles[workload].to_json()
-                    if strategy == "polm2"
+                    if get_strategy(strategy).needs_profile
                     else None
                 )
                 future = pool.submit(
@@ -417,16 +464,17 @@ class ExperimentRunner:
                     if strategy == PROFILING_KEY:
                         self._adopt_profiling_result(workload, cell)
                         self._cache_store(workload, PROFILING_KEY, cell)
-                        if (workload, "polm2") in pending:
+                        profile_json = self._profiles[workload].to_json()
+                        for dep_strategy in deferred.pop(workload, []):
                             dependent = pool.submit(
                                 _run_production_cell,
                                 workload,
-                                "polm2",
+                                dep_strategy,
                                 settings.seed,
                                 settings.production_ms,
-                                self._profiles[workload].to_json(),
+                                profile_json,
                             )
-                            futures[dependent] = (workload, "polm2")
+                            futures[dependent] = (workload, dep_strategy)
                     else:
                         self._results[(workload, strategy)] = cell
                         self._cache_store(workload, strategy, cell)
@@ -441,3 +489,15 @@ def default_runner() -> ExperimentRunner:
     if _default_runner is None:
         _default_runner = ExperimentRunner()
     return _default_runner
+
+
+def reset_default_runner() -> None:
+    """Drop the shared runner so the next ``default_runner()`` call
+    rebuilds it from the environment.
+
+    Tests that monkeypatch ``REPRO_*`` env vars must call this (the
+    shared conftest does) or a runner created earlier would keep serving
+    results computed under stale :class:`ExperimentSettings`.
+    """
+    global _default_runner
+    _default_runner = None

@@ -8,6 +8,7 @@ from typing import Callable, Dict, List, Optional, Set, TYPE_CHECKING
 from repro.errors import GCError
 from repro.gc.events import GCPause, PauseLog
 from repro.heap.objects import HeapObject
+from repro.runtime.events import GC_END, GC_START, GCEndEvent, GCStartEvent
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.runtime.vm import VM
@@ -33,7 +34,13 @@ class GenerationalCollector(abc.ABC):
         self.vm: Optional["VM"] = None
         self.pause_log = PauseLog()
         self.cycles = 0
-        self._cycle_listeners: List[CycleListener] = []
+        #: ``(listener, bus wrapper)`` bindings for the legacy cycle-listener
+        #: API, which now rides the VM's ``GC_END`` event so legacy and bus
+        #: subscribers share one ordered dispatch list.
+        self._cycle_bindings: List = []
+        #: Listeners registered before the collector was attached to a VM;
+        #: drained into the bus by :meth:`attach`.
+        self._pending_cycle_listeners: List[CycleListener] = []
         #: Live objects found by the most recent trace (consumed by the
         #: Recorder's no-need page marking and by snapshot engines).
         self.last_live_objects: List[HeapObject] = []
@@ -51,16 +58,38 @@ class GenerationalCollector(abc.ABC):
 
     def attach(self, vm: "VM") -> None:
         self.vm = vm
+        pending, self._pending_cycle_listeners = self._pending_cycle_listeners, []
+        for listener in pending:
+            self.add_cycle_listener(listener)
         self._on_attach()
 
     def _on_attach(self) -> None:
         """Subclass hook: create generations, size policies."""
 
     def add_cycle_listener(self, listener: CycleListener) -> None:
-        self._cycle_listeners.append(listener)
+        """Legacy seam: subscribe ``listener(pause)`` to the VM's GC_END.
+
+        Routing through the bus keeps one ordered dispatch list for legacy
+        and agent subscribers alike (registration order is preserved
+        across both APIs, which experiment shadows rely on).
+        """
+        if self.vm is None:
+            self._pending_cycle_listeners.append(listener)
+            return
+        wrapper = lambda event, fn=listener: fn(event.pause)  # noqa: E731
+        self._cycle_bindings.append((listener, wrapper))
+        self.vm.events.subscribe(GC_END, wrapper)
 
     def remove_cycle_listener(self, listener: CycleListener) -> None:
-        self._cycle_listeners.remove(listener)
+        if self.vm is None:
+            self._pending_cycle_listeners.remove(listener)
+            return
+        for index, (fn, wrapper) in enumerate(self._cycle_bindings):
+            if fn is listener:
+                del self._cycle_bindings[index]
+                self.vm.events.unsubscribe(GC_END, wrapper)
+                return
+        raise ValueError(f"listener {listener!r} is not registered")
 
     # -- abstract policy ---------------------------------------------------------------
 
@@ -184,8 +213,19 @@ class GenerationalCollector(abc.ABC):
             collector=self.name,
             stats=dict(stats or {}),
         )
+        events = vm.events
+        if events.has_listeners(GC_START):
+            events.publish(
+                GC_START,
+                GCStartEvent(
+                    cycle=self.cycles,
+                    kind=kind,
+                    start_ms=pause.start_ms,
+                    collector=self.name,
+                ),
+            )
         vm.clock.advance_us(duration_us)
         self.pause_log.append(pause)
-        for listener in self._cycle_listeners:
-            listener(pause)
+        if events.has_listeners(GC_END):
+            events.publish(GC_END, GCEndEvent(pause))
         return pause

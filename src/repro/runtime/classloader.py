@@ -11,7 +11,7 @@ transformed models.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Protocol
+from typing import Callable, Dict, Iterable, List, Optional, Protocol
 
 from repro.errors import ClassNotLoadedError, DuplicateClassError
 from repro.runtime.code import ClassModel, MethodModel
@@ -35,6 +35,9 @@ class ClassLoader:
         #: (load-time instrumentation work, cf. the paper's note that the
         #: Instrumenter's overhead exists only while classes load).
         self.transformed_class_count = 0
+        #: Sink called with each fully transformed class; the owning VM
+        #: points this at its CLASS_LOAD event publication.
+        self.on_loaded: Optional[Callable[[ClassModel], None]] = None
 
     # -- agent registration -------------------------------------------------------
 
@@ -68,6 +71,8 @@ class ClassLoader:
         if self._transformers and transformed:
             self.transformed_class_count += 1
         self._loaded[loaded.name] = loaded
+        if self.on_loaded is not None:
+            self.on_loaded(loaded)
         return loaded
 
     def load_all(self, class_models: Iterable[ClassModel]) -> List[ClassModel]:

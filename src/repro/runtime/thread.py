@@ -12,7 +12,7 @@ whether the call flips the thread-local *target generation* (NG2C's
 from __future__ import annotations
 
 import itertools
-from typing import List, Optional, Sequence, TYPE_CHECKING
+from typing import Iterator, List, Optional, Sequence, TYPE_CHECKING
 
 from repro.errors import NoActiveFrameError
 from repro.heap.objects import HeapObject

@@ -5,17 +5,27 @@ from __future__ import annotations
 from typing import Callable, Iterator, List, Optional, Sequence, TYPE_CHECKING
 
 from repro.config import SimConfig
-from repro.errors import OutOfMemoryError
+from repro.errors import OutOfMemoryError, ReproError
 from repro.heap.heap import SimHeap
 from repro.heap.objects import HeapObject
 from repro.runtime.classloader import ClassLoader
 from repro.runtime.clock import VirtualClock
 from repro.runtime.code import AllocSite, SiteRegistry
+from repro.runtime.events import (
+    AGENT_HOOKS,
+    ALLOCATION,
+    CLASS_LOAD,
+    SAFEPOINT,
+    ClassLoadEvent,
+    EventBus,
+    SafepointEvent,
+)
 from repro.runtime.roots import RootRegistry
 from repro.runtime.thread import SimThread
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.gc.base import GenerationalCollector
+    from repro.runtime.code import ClassModel
 
 #: Allocation listener: ``(obj, site, stack_trace)`` — the Recorder's hook.
 AllocListener = Callable[[HeapObject, AllocSite, tuple], None]
@@ -43,7 +53,17 @@ class VM:
         self.roots = RootRegistry()
         self.sites = SiteRegistry()
         self.threads: List[SimThread] = []
-        self._alloc_listeners: List[AllocListener] = []
+        #: The typed event bus every agent subscribes through.
+        self.events = EventBus()
+        #: Hot-path alias of the bus's ALLOCATION subscriber list (the
+        #: same list object, mutated in place): ``allocate_at_site`` tests
+        #: its emptiness per allocation, and an empty list means no trace
+        #: is captured at all — the PR 2 fast-path invariant.
+        self._alloc_listeners: List[AllocListener] = self.events.listener_list(
+            ALLOCATION
+        )
+        self._agents: List = []
+        self.classloader.on_loaded = self._publish_class_load
         self.ops_completed = 0
         #: Executed ``setGeneration`` API calls (the overhead §4.4's
         #: push-up optimization minimizes; exercised by ablation benches).
@@ -63,11 +83,70 @@ class VM:
         self.threads.append(thread)
         return thread
 
+    # -- agents -----------------------------------------------------------------------
+
+    def attach_agent(self, agent) -> None:
+        """Attach a :class:`~repro.runtime.events.VMAgent` to this VM.
+
+        Runs ``agent.on_attach(vm)`` first (validation — a raise leaves
+        the VM untouched), then registers the agent as a class transformer
+        if it defines ``transform``, then subscribes every ``on_<event>``
+        hook the agent defines.  This is the one seam through which the
+        Recorder, Dumper, Instrumenter, telemetry, and any third-party
+        profiler reach the VM.
+        """
+        if agent in self._agents:
+            raise ReproError(f"agent {agent!r} is already attached")
+        on_attach = getattr(agent, "on_attach", None)
+        if callable(on_attach):
+            on_attach(self)
+        if callable(getattr(agent, "transform", None)):
+            self.classloader.add_transformer(agent)
+        for kind, hook_name in AGENT_HOOKS:
+            hook = getattr(agent, hook_name, None)
+            if callable(hook):
+                self.events.subscribe(kind, hook)
+        self._agents.append(agent)
+
+    def detach_agent(self, agent) -> None:
+        """Detach a previously attached agent (symmetric teardown)."""
+        if agent not in self._agents:
+            raise ReproError(f"agent {agent!r} is not attached")
+        self._agents.remove(agent)
+        for kind, hook_name in AGENT_HOOKS:
+            hook = getattr(agent, hook_name, None)
+            if callable(hook):
+                self.events.unsubscribe(kind, hook)
+        if callable(getattr(agent, "transform", None)):
+            self.classloader.remove_transformer(agent)
+        on_detach = getattr(agent, "on_detach", None)
+        if callable(on_detach):
+            on_detach(self)
+
+    @property
+    def agents(self) -> List:
+        return list(self._agents)
+
+    def safepoint(self, kind: str, source: Optional[str] = None) -> None:
+        """Publish a workload-declared safepoint (e.g. a memtable flush)."""
+        if self.events.has_listeners(SAFEPOINT):
+            self.events.publish(
+                SAFEPOINT,
+                SafepointEvent(kind=kind, at_ms=self.clock.now_ms, source=source),
+            )
+
+    def _publish_class_load(self, class_model: "ClassModel") -> None:
+        if self.events.has_listeners(CLASS_LOAD):
+            self.events.publish(CLASS_LOAD, ClassLoadEvent(class_model))
+
+    # -- legacy listener API (shims over the bus) ----------------------------------
+
     def add_alloc_listener(self, listener: AllocListener) -> None:
-        self._alloc_listeners.append(listener)
+        """Deprecated seam: subscribe to ALLOCATION on :attr:`events`."""
+        self.events.subscribe(ALLOCATION, listener)
 
     def remove_alloc_listener(self, listener: AllocListener) -> None:
-        self._alloc_listeners.remove(listener)
+        self.events.unsubscribe(ALLOCATION, listener)
 
     # -- roots ----------------------------------------------------------------------
 

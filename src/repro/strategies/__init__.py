@@ -1,0 +1,23 @@
+"""Declarative strategy registry + reusable VM agents."""
+
+from repro.strategies import builtin as _builtin  # noqa: F401  (registers)
+from repro.strategies.agents import GenerationRotationAgent, TelemetryAgent
+from repro.strategies.spec import (
+    StrategyContext,
+    StrategySpec,
+    get_strategy,
+    register_strategy,
+    strategy_names,
+    unregister_strategy,
+)
+
+__all__ = [
+    "GenerationRotationAgent",
+    "StrategyContext",
+    "StrategySpec",
+    "TelemetryAgent",
+    "get_strategy",
+    "register_strategy",
+    "strategy_names",
+    "unregister_strategy",
+]

@@ -1,0 +1,96 @@
+"""The built-in strategies (the paper's §5 evaluation matrix).
+
+Importing this module registers every built-in strategy; the package
+``__init__`` does so, so ``from repro.strategies import get_strategy``
+always sees them.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.instrumenter import Instrumenter
+from repro.errors import ReproError
+from repro.gc.binary import BinaryPretenuringCollector
+from repro.gc.c4 import C4Collector
+from repro.gc.g1 import G1Collector
+from repro.gc.ng2c import NG2CCollector
+from repro.strategies.agents import GenerationRotationAgent
+from repro.strategies.spec import StrategyContext, StrategySpec, register_strategy
+
+
+def _manual_ng2c_agents(ctx: StrategyContext) -> Sequence:
+    """The paper's "NG2C" bars: hand-written annotations + rotation."""
+    manual = ctx.workload.manual_ng2c()
+    if manual is None:
+        raise ReproError(
+            f"workload {ctx.workload.name!r} has no manual NG2C strategy"
+        )
+    agents = [Instrumenter(manual.as_profile(ctx.workload.name))]
+    if manual.rotate_generation_on_flush:
+        agents.append(
+            GenerationRotationAgent(ctx.collector, manual.rotating_index)
+        )
+    return agents
+
+
+def _polm2_agents(ctx: StrategyContext) -> Sequence:
+    """Production phase: only the Instrumenter, applying the profile."""
+    return [Instrumenter(ctx.profile)]
+
+
+register_strategy(
+    StrategySpec(
+        name="g1",
+        collector_factory=G1Collector,
+        description="plain G1 (the paper's primary baseline)",
+    )
+)
+
+register_strategy(
+    StrategySpec(
+        name="ng2c",
+        collector_factory=NG2CCollector,
+        build_agents=_manual_ng2c_agents,
+        description="NG2C with the workload's hand-written annotations",
+    )
+)
+
+register_strategy(
+    StrategySpec(
+        name="ng2c-unannotated",
+        collector_factory=NG2CCollector,
+        description="NG2C with no annotations (behaves like G1; ablation)",
+    )
+)
+
+register_strategy(
+    StrategySpec(
+        name="c4",
+        collector_factory=C4Collector,
+        description="the C4 concurrent-compaction model",
+    )
+)
+
+register_strategy(
+    StrategySpec(
+        name="polm2",
+        collector_factory=NG2CCollector,
+        needs_profile=True,
+        build_agents=_polm2_agents,
+        description="POLM2: profile-driven Instrumenter over NG2C",
+    )
+)
+
+register_strategy(
+    StrategySpec(
+        name="polm2-binary",
+        collector_factory=BinaryPretenuringCollector,
+        needs_profile=True,
+        build_agents=_polm2_agents,
+        description=(
+            "POLM2 over a Memento-style single-tenured-space collector "
+            "(the GC-independence ablation, paper §4.5)"
+        ),
+    )
+)

@@ -1,0 +1,105 @@
+"""The declarative strategy registry.
+
+A *strategy* is everything needed to run a workload under one memory-
+management configuration: which collector to build, which agents to
+attach, and whether an :class:`~repro.core.profile.AllocationProfile` is
+required first.  Strategies are declared as :class:`StrategySpec` values
+and registered by name; the pipeline, the experiment runner, and the CLI
+all resolve them through :func:`get_strategy`, so registering a new
+strategy requires zero edits to ``core/pipeline.py`` or
+``experiments/runner.py``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Dict, List, Optional, Sequence, TYPE_CHECKING
+
+from repro.errors import ReproError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.config import SimConfig
+    from repro.core.profile import AllocationProfile
+    from repro.gc.base import GenerationalCollector
+    from repro.runtime.vm import VM
+    from repro.workloads.base import Workload
+
+
+@dataclasses.dataclass(frozen=True)
+class StrategyContext:
+    """Everything a strategy's agent builder may consult.
+
+    Built by the pipeline after the VM and collector exist but before
+    any class loads, so agents attach exactly when a ``-javaagent``
+    would be present.
+    """
+
+    vm: "VM"
+    workload: "Workload"
+    collector: "GenerationalCollector"
+    config: "SimConfig"
+    profile: Optional["AllocationProfile"] = None
+
+
+def _no_agents(ctx: StrategyContext) -> Sequence:
+    return ()
+
+
+@dataclasses.dataclass(frozen=True)
+class StrategySpec:
+    """One named memory-management strategy.
+
+    ``collector_factory``
+        Zero-argument callable producing a fresh collector per run.
+    ``needs_profile``
+        True when the strategy consumes an allocation profile (the
+        pipeline runs a profiling phase first, or the caller supplies a
+        saved one).
+    ``build_agents``
+        ``(StrategyContext) -> agents`` — the agents to attach via
+        ``vm.attach_agent`` before classes load.  May raise
+        :class:`~repro.errors.ReproError` (e.g. a workload with no
+        manual NG2C annotations).
+    """
+
+    name: str
+    collector_factory: Callable[[], "GenerationalCollector"]
+    needs_profile: bool = False
+    build_agents: Callable[[StrategyContext], Sequence] = _no_agents
+    description: str = ""
+
+
+_REGISTRY: Dict[str, StrategySpec] = {}
+
+
+def register_strategy(spec: StrategySpec, replace: bool = False) -> StrategySpec:
+    """Register ``spec`` under its name; raises on duplicates.
+
+    Returns the spec so the call can be used as an expression.
+    """
+    if not replace and spec.name in _REGISTRY:
+        raise ReproError(f"strategy {spec.name!r} is already registered")
+    _REGISTRY[spec.name] = spec
+    return spec
+
+
+def unregister_strategy(name: str) -> None:
+    """Remove a strategy (tests registering throwaway strategies)."""
+    if name not in _REGISTRY:
+        raise ReproError(f"strategy {name!r} is not registered")
+    del _REGISTRY[name]
+
+
+def get_strategy(name: str) -> StrategySpec:
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise ReproError(
+            f"unknown strategy {name!r} (registered: {known})"
+        ) from None
+
+
+def strategy_names() -> List[str]:
+    """All registered strategy names, in registration order."""
+    return list(_REGISTRY)

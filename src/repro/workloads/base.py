@@ -66,12 +66,19 @@ class Workload(abc.ABC):
     def __init__(self) -> None:
         #: Callbacks fired when the workload retires a large unit of state
         #: (memtable flush, segment merge, batch completion).  The manual
-        #: NG2C baseline hooks generation rotation here.
+        #: NG2C baseline historically hooked generation rotation here;
+        #: agents now subscribe to the VM's SAFEPOINT event instead.
         self.flush_hooks: List[Callable[[], None]] = []
+        #: The VM this workload runs on; the pipeline driver sets it
+        #: before loading classes (subclasses also set it in ``setup``).
+        self.vm: Optional["VM"] = None
 
     def fire_flush_hooks(self) -> None:
         for hook in self.flush_hooks:
             hook()
+        vm = getattr(self, "vm", None)
+        if vm is not None:
+            vm.safepoint("flush", source=self.name)
 
     @abc.abstractmethod
     def class_models(self) -> List[ClassModel]:

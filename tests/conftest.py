@@ -5,10 +5,25 @@ from __future__ import annotations
 import pytest
 
 from repro.config import SimConfig
+from repro.experiments.runner import reset_default_runner
 from repro.gc.g1 import G1Collector
 from repro.gc.ng2c import NG2CCollector
 from repro.runtime.code import ClassModel
 from repro.runtime.vm import VM
+
+
+@pytest.fixture(autouse=True)
+def _fresh_default_runner():
+    """Kill the process-wide runner singleton around every test.
+
+    ``default_runner()`` caches :class:`ExperimentSettings` read from the
+    environment at first use; without this reset, a test that
+    monkeypatches ``REPRO_*`` env vars could be served a runner built
+    under another test's settings.
+    """
+    reset_default_runner()
+    yield
+    reset_default_runner()
 
 
 @pytest.fixture

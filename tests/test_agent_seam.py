@@ -1,0 +1,44 @@
+"""Guard: the event bus stays the only seam into the VM.
+
+The agent/event refactor routed every profiler through
+``vm.attach_agent``.  This test keeps it that way: no module outside
+``repro/runtime`` may call ``VM.add_alloc_listener`` directly — new
+observers must be agents on the bus.
+"""
+
+from __future__ import annotations
+
+import os
+
+import repro
+
+#: Modules allowed to reference the legacy listener API: the runtime
+#: itself (where the shim lives).
+_ALLOWED_PREFIX = os.path.join("repro", "runtime") + os.sep
+
+
+def _package_sources():
+    root = os.path.dirname(os.path.abspath(repro.__file__))
+    parent = os.path.dirname(root)
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames.sort()
+        for filename in sorted(filenames):
+            if filename.endswith(".py"):
+                path = os.path.join(dirpath, filename)
+                yield os.path.relpath(path, parent), path
+
+
+def test_no_direct_alloc_listener_calls_outside_runtime():
+    offenders = []
+    for rel, path in _package_sources():
+        if rel.startswith(_ALLOWED_PREFIX):
+            continue
+        with open(path) as handle:
+            source = handle.read()
+        if ".add_alloc_listener(" in source:
+            offenders.append(rel)
+    assert offenders == [], (
+        "these modules bypass the agent seam with direct "
+        f"VM.add_alloc_listener calls: {offenders}; subscribe via "
+        "vm.attach_agent(...) instead"
+    )

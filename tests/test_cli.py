@@ -82,6 +82,39 @@ class TestRunCommand:
         assert "pause times" in capsys.readouterr().out
 
 
+class TestErrorReporting:
+    def test_repro_error_prints_one_line_and_exits_2(self, tmp_path, capsys):
+        # A missing profile file surfaces as ProfileError (a ReproError),
+        # which main() must turn into a one-line message, not a traceback.
+        code = main(
+            [
+                "run",
+                "graphchi-pr",
+                "--profile",
+                str(tmp_path / "nonexistent.json"),
+                "--duration-ms",
+                "1000",
+            ]
+        )
+        assert code == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error: ")
+        assert len(err.strip().splitlines()) == 1
+
+    def test_analyze_bad_recording_dir_exits_2(self, tmp_path, capsys):
+        code = main(["analyze", str(tmp_path / "not-a-recording")])
+        assert code == 2
+        assert capsys.readouterr().err.startswith("error: ")
+
+    def test_strategy_choices_come_from_registry(self):
+        from repro.strategies import strategy_names
+
+        parser = build_parser()
+        for name in strategy_names():
+            args = parser.parse_args(["run", "lucene", "--strategy", name])
+            assert args.strategy == name
+
+
 class TestRecordAnalyzeCommands:
     def test_record_then_analyze(self, tmp_path, capsys):
         rec_dir = str(tmp_path / "rec")
