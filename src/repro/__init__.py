@@ -33,6 +33,7 @@ from repro.core.instrumenter import Instrumenter
 from repro.core.pipeline import POLM2Pipeline, PhaseResult
 from repro.core.profile import AllocationProfile
 from repro.core.recorder import Recorder
+from repro.core.stages import IncrementalAnalyzer, ProfileBuilder
 from repro.core.sttree import STTree
 from repro.errors import ReproError
 from repro.gc.c4 import C4Collector
@@ -55,10 +56,12 @@ __all__ = [
     "Analyzer",
     "C4Collector",
     "G1Collector",
+    "IncrementalAnalyzer",
     "Instrumenter",
     "NG2CCollector",
     "PhaseResult",
     "POLM2Pipeline",
+    "ProfileBuilder",
     "Recorder",
     "ReproError",
     "STTree",

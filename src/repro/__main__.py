@@ -7,8 +7,8 @@ Commands:
 * ``record <workload> -o <dir>`` — run the profiling phase and persist
   the *raw* recording (allocation streams + snapshots) for later offline
   analysis, the paper's actual deployment shape.
-* ``analyze <dir> [-o profile.json]`` — run the Analyzer over a recording
-  directory, no VM required.
+* ``analyze <dir> [-o profile.json]`` — stream a recording directory
+  through the analysis stages (``ProfileBuilder``), no VM required.
 * ``run <workload> [--profile profile.json] [--strategy ...]`` — run the
   production phase (or a baseline) and print the pause report.
 * ``evaluate`` — regenerate every table and figure of the paper's §5.
@@ -61,6 +61,7 @@ def cmd_record(args) -> int:
 
 def cmd_analyze(args) -> int:
     from repro.core.offline import analyze_recording
+    from repro.core.sttree import STTREE_SCHEMA_VERSION
 
     profile = analyze_recording(args.recording_dir)
     print(
@@ -68,6 +69,11 @@ def cmd_analyze(args) -> int:
         f"{profile.generations_used} generations, "
         f"{profile.conflicts_detected} conflicts"
     )
+    if profile.sttree is not None:
+        print(
+            f"profile IR: schema v{STTREE_SCHEMA_VERSION}, "
+            f"digest {profile.sttree.digest()[:16]}"
+        )
     profile.save(args.output)
     print(f"saved -> {args.output}")
     return 0

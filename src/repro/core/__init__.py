@@ -22,6 +22,13 @@ from repro.core.pipeline import POLM2Pipeline, PhaseResult
 from repro.core.profile import AllocationProfile, AllocDirective, CallDirective
 from repro.core.profilestore import ProfileStore
 from repro.core.recorder import AllocationRecords, Recorder
+from repro.core.stages import (
+    IncrementalAnalyzer,
+    LiveVMSource,
+    ProfileBuilder,
+    ProfileStage,
+    RecordingDirSource,
+)
 from repro.core.sttree import STTree
 
 __all__ = [
@@ -31,10 +38,15 @@ __all__ = [
     "Analyzer",
     "CallDirective",
     "Dumper",
+    "IncrementalAnalyzer",
     "Instrumenter",
+    "LiveVMSource",
     "POLM2Pipeline",
     "PhaseResult",
+    "ProfileBuilder",
+    "ProfileStage",
     "ProfileStore",
     "Recorder",
+    "RecordingDirSource",
     "STTree",
 ]

@@ -21,9 +21,10 @@ from __future__ import annotations
 
 import collections
 import dataclasses
-from typing import Dict, List, Optional, Sequence
+import warnings
+from typing import Dict, Optional, Sequence
 
-from repro.core.profile import AllocationProfile, AllocDirective, CallDirective
+from repro.core.profile import AllocationProfile
 from repro.core.recorder import AllocationRecords
 from repro.core.sttree import STTree
 from repro.errors import ProfileError
@@ -88,6 +89,66 @@ def survival_to_generation(survival: int, max_generations: int) -> int:
     return min(gen, max_generations - 1)
 
 
+# -- shared estimation steps ------------------------------------------------------
+#
+# The batch Analyzer and the streaming IncrementalAnalyzer stage
+# (``repro.core.stages``) differ only in how survival counts are
+# accumulated; everything from counts to the STTree is this one shared
+# path, which is what makes their outputs byte-identical.
+
+
+def lifetime_distributions(
+    records: AllocationRecords,
+    counts: Dict[int, int],
+    cutoff: Optional[int],
+) -> Dict[int, LifetimeDistribution]:
+    """Fold per-id survival counts into per-trace histograms.
+
+    Ids above ``cutoff`` (allocated after the last snapshot) carry no
+    lifetime signal and are excluded.
+    """
+    result: Dict[int, LifetimeDistribution] = {}
+    for trace_id, stream in records.streams.items():
+        buckets: Dict[int, int] = collections.defaultdict(int)
+        for object_id in stream:
+            if cutoff is not None and object_id > cutoff:
+                continue
+            buckets[counts.get(object_id, 0)] += 1
+        if buckets:
+            result[trace_id] = LifetimeDistribution(trace_id, dict(buckets))
+    return result
+
+
+def estimate_trace_generations(
+    distributions: Dict[int, LifetimeDistribution],
+    max_generations: int,
+    min_samples: int,
+) -> Dict[int, int]:
+    """Per-trace estimated generation (0 = leave in young)."""
+    estimates: Dict[int, int] = {}
+    for trace_id, dist in distributions.items():
+        if dist.sample_count < min_samples:
+            estimates[trace_id] = 0
+        else:
+            estimates[trace_id] = dist.mode_generation(max_generations)
+    return estimates
+
+
+def build_trace_tree(
+    records: AllocationRecords, estimates: Dict[int, int]
+) -> STTree:
+    """Insert every estimated trace into a fresh STTree (the profile IR)."""
+    tree = STTree()
+    for trace_id, gen in sorted(estimates.items()):
+        trace = records.traces[trace_id]
+        count = len(records.streams[trace_id])
+        tree.insert(trace, gen, count)
+    return tree
+
+
+_DEPRECATION_EMITTED = False
+
+
 class Analyzer:
     """Runs the bucket algorithm and produces the allocation profile.
 
@@ -107,6 +168,16 @@ class Analyzer:
         max_generations: int = 16,
         min_samples: int = 8,
     ) -> None:
+        global _DEPRECATION_EMITTED
+        if not _DEPRECATION_EMITTED:
+            _DEPRECATION_EMITTED = True
+            warnings.warn(
+                "the batch Analyzer is deprecated; use "
+                "repro.core.stages.ProfileBuilder (streaming, bounded "
+                "memory) instead — this shim will be removed next release",
+                DeprecationWarning,
+                stacklevel=2,
+            )
         if max_generations < 2:
             raise ProfileError("max_generations must be >= 2")
         self.records = records
@@ -257,21 +328,11 @@ class Analyzer:
 
     def distributions(self) -> Dict[int, LifetimeDistribution]:
         """Per-trace survival histograms (memoized)."""
-        if self._distributions is not None:
-            return self._distributions
-        counts = self._counts_all()
-        cutoff = self._id_cutoff()
-        result: Dict[int, LifetimeDistribution] = {}
-        for trace_id, stream in self.records.streams.items():
-            buckets: Dict[int, int] = collections.defaultdict(int)
-            for object_id in stream:
-                if cutoff is not None and object_id > cutoff:
-                    continue
-                buckets[counts.get(object_id, 0)] += 1
-            if buckets:
-                result[trace_id] = LifetimeDistribution(trace_id, dict(buckets))
-        self._distributions = result
-        return result
+        if self._distributions is None:
+            self._distributions = lifetime_distributions(
+                self.records, self._counts_all(), self._id_cutoff()
+            )
+        return self._distributions
 
     # -- generation estimation -----------------------------------------------------------
 
@@ -279,16 +340,11 @@ class Analyzer:
         """Per-trace estimated generation index (0 = leave in young);
         memoized — ``build_profile()`` and ``site_report()`` both consume
         it without recomputing the underlying distributions."""
-        if self._estimates is not None:
-            return self._estimates
-        estimates: Dict[int, int] = {}
-        for trace_id, dist in self.distributions().items():
-            if dist.sample_count < self.min_samples:
-                estimates[trace_id] = 0
-                continue
-            estimates[trace_id] = dist.mode_generation(self.max_generations)
-        self._estimates = estimates
-        return estimates
+        if self._estimates is None:
+            self._estimates = estimate_trace_generations(
+                self.distributions(), self.max_generations, self.min_samples
+            )
+        return self._estimates
 
     # -- reporting ----------------------------------------------------------------------
 
@@ -336,44 +392,16 @@ class Analyzer:
     # -- STTree + profile --------------------------------------------------------------
 
     def build_sttree(self) -> STTree:
-        estimates = self.estimate_generations()
-        tree = STTree()
-        for trace_id, gen in sorted(estimates.items()):
-            trace = self.records.traces[trace_id]
-            count = len(self.records.streams[trace_id])
-            tree.insert(trace, gen, count)
-        return tree
+        return build_trace_tree(self.records, self.estimate_generations())
 
     def build_profile(
         self, workload: str = "unknown", push_up: bool = True
     ) -> AllocationProfile:
         """The complete profiling-phase output."""
-        tree = self.build_sttree()
-        plan = tree.instrumentation_plan(push_up=push_up)
-        alloc_directives: List[AllocDirective] = []
-        for location in sorted(plan.annotate_sites):
-            alloc_directives.append(
-                AllocDirective(
-                    class_name=location[0],
-                    method_name=location[1],
-                    line=location[2],
-                    pre_set_gen=plan.alloc_brackets.get(location),
-                )
-            )
-        call_directives = [
-            CallDirective(
-                class_name=location[0],
-                method_name=location[1],
-                line=location[2],
-                target_generation=gen,
-            )
-            for location, gen in sorted(plan.call_directives.items())
-        ]
-        return AllocationProfile(
+        return AllocationProfile.from_sttree(
+            self.build_sttree(),
             workload=workload,
-            alloc_directives=alloc_directives,
-            call_directives=call_directives,
-            conflicts_detected=len(plan.conflicts),
+            push_up=push_up,
             metadata={
                 "snapshots_analyzed": len(self.snapshots),
                 "traces_analyzed": self.records.trace_count,

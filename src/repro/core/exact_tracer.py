@@ -151,27 +151,10 @@ class ExactLifetimeTracer(VMAgent):
             best = max(votes.values())
             gen = min(g for g, count in votes.items() if count == best)
             tree.insert(self.records.traces[trace_id], gen, len(stream))
-        plan = tree.instrumentation_plan(push_up=push_up)
-        from repro.core.profile import AllocDirective, CallDirective
-
-        alloc_directives = [
-            AllocDirective(
-                class_name=loc[0],
-                method_name=loc[1],
-                line=loc[2],
-                pre_set_gen=plan.alloc_brackets.get(loc),
-            )
-            for loc in sorted(plan.annotate_sites)
-        ]
-        call_directives = [
-            CallDirective(loc[0], loc[1], loc[2], gen)
-            for loc, gen in sorted(plan.call_directives.items())
-        ]
-        return AllocationProfile(
+        return AllocationProfile.from_sttree(
+            tree,
             workload=workload,
-            alloc_directives=alloc_directives,
-            call_directives=call_directives,
-            conflicts_detected=len(plan.conflicts),
+            push_up=push_up,
             metadata={
                 "profiler": "exact-tracer",
                 "ref_updates_observed": self.ref_updates_observed,

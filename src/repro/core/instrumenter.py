@@ -19,9 +19,10 @@ any collector whose ``supports_pretenuring`` is true works.
 
 from __future__ import annotations
 
-from typing import Optional, TYPE_CHECKING
+from typing import Optional, Union, TYPE_CHECKING
 
 from repro.core.profile import AllocationProfile
+from repro.core.sttree import STTree
 from repro.errors import PretenuringUnsupportedError
 from repro.runtime.code import ClassModel
 from repro.runtime.events import VMAgent
@@ -31,9 +32,16 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 
 
 class Instrumenter(VMAgent):
-    """Applies an :class:`AllocationProfile` at class-load time."""
+    """Applies an :class:`AllocationProfile` at class-load time.
 
-    def __init__(self, profile: AllocationProfile) -> None:
+    Also accepts the canonical :class:`~repro.core.sttree.STTree` IR
+    directly (flattened with the default push-up plan), so tooling that
+    carries only the IR never rebuilds a profile by hand.
+    """
+
+    def __init__(self, profile: Union[AllocationProfile, STTree]) -> None:
+        if isinstance(profile, STTree):
+            profile = AllocationProfile.from_sttree(profile)
         self.profile = profile
         self._alloc_by_location = {d.location: d for d in profile.alloc_directives}
         self._call_by_location = {d.location: d for d in profile.call_directives}

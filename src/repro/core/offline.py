@@ -11,7 +11,9 @@ provides exactly that separation over the simulated runtime:
   + ``meta.json``);
 * :func:`analyze_recording` — build an
   :class:`~repro.core.profile.AllocationProfile` from such a directory,
-  with no VM or workload required.
+  with no VM or workload required, by replaying it through the same
+  streaming stage pipeline (:mod:`repro.core.stages`) the in-VM
+  profiler runs.
 """
 
 from __future__ import annotations
@@ -21,18 +23,27 @@ import os
 from typing import Optional
 
 from repro.config import SimConfig
-from repro.core.analyzer import Analyzer
 from repro.core.dumper import Dumper
 from repro.core.profile import AllocationProfile
-from repro.core.recorder import AllocationRecords, Recorder
-from repro.errors import ProfileFormatError
+from repro.core.recorder import Recorder
+from repro.core.stages import (
+    META_FILE,
+    RECORDING_SCHEMA_VERSION,
+    SNAPSHOTS_FILE,
+    ProfileBuilder,
+    RecordingDirSource,
+)
 from repro.gc.ng2c import NG2CCollector
 from repro.runtime.vm import VM
-from repro.snapshot.snapshot import SnapshotStore
 from repro.workloads import make_workload
 
-SNAPSHOTS_FILE = "snapshots.jsonl"
-META_FILE = "meta.json"
+__all__ = [
+    "META_FILE",
+    "RECORDING_SCHEMA_VERSION",
+    "SNAPSHOTS_FILE",
+    "analyze_recording",
+    "record_to_dir",
+]
 
 
 def record_to_dir(
@@ -67,6 +78,7 @@ def record_to_dir(
     with open(os.path.join(output_dir, META_FILE), "w") as handle:
         json.dump(
             {
+                "schema_version": RECORDING_SCHEMA_VERSION,
                 "workload": workload_name,
                 "seed": seed,
                 "duration_ms": duration_ms,
@@ -86,22 +98,19 @@ def analyze_recording(
     push_up: bool = True,
     max_generations: Optional[int] = None,
 ) -> AllocationProfile:
-    """Run the Analyzer over an on-disk recording directory."""
-    meta_path = os.path.join(recording_dir, META_FILE)
-    try:
-        with open(meta_path) as handle:
-            meta = json.load(handle)
-    except (OSError, ValueError) as exc:
-        raise ProfileFormatError(
-            f"not a recording directory (no readable {META_FILE}): {exc}"
-        ) from exc
-    records = AllocationRecords.load_from_dir(recording_dir)
-    store = SnapshotStore.load(os.path.join(recording_dir, SNAPSHOTS_FILE))
-    analyzer = Analyzer(
-        records,
-        store.snapshots,
-        max_generations=max_generations or int(meta.get("max_generations", 16)),
+    """Stream an on-disk recording directory through the analysis stages.
+
+    This is the same :class:`~repro.core.stages.ProfileBuilder` code path
+    the in-VM streaming profiler uses, driven by a
+    :class:`~repro.core.stages.RecordingDirSource` instead of live
+    snapshot-point events.  Missing or corrupt recording files raise
+    :class:`~repro.errors.ProfileFormatError` naming the offending path
+    and the expected recording schema version.
+    """
+    source = RecordingDirSource(recording_dir)
+    builder = ProfileBuilder(
+        max_generations=max_generations or source.max_generations,
+        push_up=push_up,
     )
-    return analyzer.build_profile(
-        workload=meta.get("workload", "unknown"), push_up=push_up
-    )
+    builder.run(source)
+    return builder.build(workload=source.workload)

@@ -3,9 +3,11 @@
 :class:`POLM2Pipeline` wires the components end-to-end:
 
 * **profiling phase** — a fresh VM with NG2C (whose modified heap walk
-  supports the no-need marking), the Recorder and the Dumper attached;
-  the workload runs for a configurable virtual duration; the Analyzer
-  digests records + snapshots into an :class:`AllocationProfile`;
+  supports the no-need marking), the Recorder, the Dumper, and a
+  streaming :class:`~repro.core.stages.LiveVMSource` attached; the
+  incremental analysis stages digest each snapshot as it is taken and
+  the :class:`~repro.core.stages.ProfileBuilder` flattens the result
+  into an :class:`AllocationProfile`;
 * **production phase** — a fresh VM with NG2C and only the Instrumenter
   attached, applying the profile at class-load time;
 * **baselines** — the same workload under plain G1, plain NG2C with the
@@ -23,10 +25,10 @@ import json
 from typing import Callable, Dict, List, Optional, Union
 
 from repro.config import SimConfig
-from repro.core.analyzer import Analyzer
 from repro.core.dumper import Dumper
 from repro.core.profile import AllocationProfile
 from repro.core.recorder import Recorder
+from repro.core.stages import LiveVMSource, ProfileBuilder
 from repro.errors import ReproError
 from repro.gc.base import GenerationalCollector
 from repro.gc.events import GCPause
@@ -281,8 +283,14 @@ class POLM2Pipeline:
         push_up: bool = True,
         keep_result: Optional[list] = None,
     ) -> AllocationProfile:
-        """Run the workload under the Recorder + Dumper; analyze; return
+        """Run the workload with the streaming profiler attached; return
         the allocation profile.
+
+        Analysis happens *during* the run: a
+        :class:`~repro.core.stages.LiveVMSource` feeds every snapshot
+        into the :class:`~repro.core.stages.ProfileBuilder`'s incremental
+        stages at the snapshot-point event, so no end-of-run batch pass
+        over the snapshot sequence is needed.
 
         ``keep_result`` (optional, a list) receives the profiling-run
         :class:`PhaseResult` — used by the snapshot experiments.
@@ -293,16 +301,16 @@ class POLM2Pipeline:
         recorder = Recorder(snapshot_every=self.snapshot_every)
         dumper = Dumper()
         recorder.dumper = dumper
-        agents = [recorder, dumper, TelemetryAgent()]
+        builder = ProfileBuilder(
+            max_generations=self.config.max_generations, push_up=push_up
+        )
+        source = LiveVMSource(builder, recorder, dumper)
+        agents = [recorder, dumper, source, TelemetryAgent()]
         for agent in agents:
             vm.attach_agent(agent)
         timeline = self._drive(vm, workload, duration_ms)
-        analyzer = Analyzer(
-            recorder.records,
-            dumper.store.snapshots,
-            max_generations=self.config.max_generations,
-        )
-        profile = analyzer.build_profile(workload=workload.name, push_up=push_up)
+        source.flush()
+        profile = builder.build(workload=workload.name)
         if keep_result is not None:
             keep_result.append(
                 self._result(

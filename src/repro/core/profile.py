@@ -14,8 +14,19 @@ import dataclasses
 import json
 from typing import Dict, List, Optional, Set
 
+from repro.core.sttree import STTree
 from repro.errors import ProfileFormatError
 from repro.runtime.code import CodeLocation
+
+#: Current profile file format marker.
+PROFILE_FORMAT = "polm2-profile-v2"
+
+#: Current profile schema version.  v1 files (format marker
+#: ``polm2-profile-v1``, no embedded IR) are still read; versions newer
+#: than this are rejected with a one-line error.
+PROFILE_SCHEMA_VERSION = 2
+
+_PROFILE_FORMAT_V1 = "polm2-profile-v1"
 
 
 @dataclasses.dataclass(frozen=True)
@@ -61,12 +72,60 @@ class AllocationProfile:
         call_directives: List[CallDirective],
         conflicts_detected: int = 0,
         metadata: Optional[Dict[str, object]] = None,
+        sttree: Optional[STTree] = None,
     ) -> None:
         self.workload = workload
         self.alloc_directives = list(alloc_directives)
         self.call_directives = list(call_directives)
         self.conflicts_detected = conflicts_detected
         self.metadata: Dict[str, object] = dict(metadata or {})
+        #: The canonical profile IR this profile was flattened from, kept
+        #: so the serialized file carries the full lifetime model and
+        #: re-analysis tooling never has to re-derive it.  ``None`` on
+        #: hand-built or v1-loaded profiles.
+        self.sttree = sttree
+
+    @classmethod
+    def from_sttree(
+        cls,
+        tree: STTree,
+        workload: str = "unknown",
+        push_up: bool = True,
+        metadata: Optional[Dict[str, object]] = None,
+    ) -> "AllocationProfile":
+        """Flatten the canonical IR into the two directive lists.
+
+        This is the single place the STTree's instrumentation plan turns
+        into ``@Gen`` / ``setGeneration`` directives; every producer
+        (streaming or batch analysis, the exact tracer) routes through it.
+        """
+        plan = tree.instrumentation_plan(push_up=push_up)
+        alloc_directives = [
+            AllocDirective(
+                class_name=location[0],
+                method_name=location[1],
+                line=location[2],
+                pre_set_gen=plan.alloc_brackets.get(location),
+            )
+            for location in sorted(plan.annotate_sites)
+        ]
+        call_directives = [
+            CallDirective(
+                class_name=location[0],
+                method_name=location[1],
+                line=location[2],
+                target_generation=gen,
+            )
+            for location, gen in sorted(plan.call_directives.items())
+        ]
+        return cls(
+            workload=workload,
+            alloc_directives=alloc_directives,
+            call_directives=call_directives,
+            conflicts_detected=len(plan.conflicts),
+            metadata=metadata,
+            sttree=tree,
+        )
 
     # -- derived metrics (Table 1) ---------------------------------------------------
 
@@ -97,8 +156,14 @@ class AllocationProfile:
     # -- serialization ------------------------------------------------------------------
 
     def to_json(self) -> str:
+        ir = None
+        if self.sttree is not None:
+            ir = self.sttree.to_payload()
+            ir["content_hash"] = self.sttree.digest()
         payload = {
-            "format": "polm2-profile-v1",
+            "format": PROFILE_FORMAT,
+            "schema_version": PROFILE_SCHEMA_VERSION,
+            "ir": ir,
             "workload": self.workload,
             "conflicts_detected": self.conflicts_detected,
             "alloc_directives": [
@@ -129,10 +194,23 @@ class AllocationProfile:
             payload = json.loads(text)
         except ValueError as exc:
             raise ProfileFormatError(f"invalid profile JSON: {exc}") from exc
-        if payload.get("format") != "polm2-profile-v1":
+        if payload.get("format") not in (PROFILE_FORMAT, _PROFILE_FORMAT_V1):
             raise ProfileFormatError(
                 f"unsupported profile format: {payload.get('format')!r}"
             )
+        version = payload.get("schema_version", 1)
+        if not isinstance(version, int) or version < 1:
+            raise ProfileFormatError(
+                f"invalid profile schema_version {version!r}"
+            )
+        if version > PROFILE_SCHEMA_VERSION:
+            raise ProfileFormatError(
+                f"profile schema v{version} is newer than the supported "
+                f"v{PROFILE_SCHEMA_VERSION}; upgrade repro to read it"
+            )
+        sttree = None
+        if payload.get("ir") is not None:
+            sttree = STTree.from_payload(payload["ir"])
         try:
             alloc = [
                 AllocDirective(
@@ -160,6 +238,7 @@ class AllocationProfile:
             call_directives=calls,
             conflicts_detected=int(payload.get("conflicts_detected", 0)),
             metadata=payload.get("metadata") or {},
+            sttree=sttree,
         )
 
     def save(self, path: str) -> None:

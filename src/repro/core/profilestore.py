@@ -16,6 +16,7 @@ import os
 from typing import Dict, List, Optional
 
 from repro.core.profile import AllocationProfile
+from repro.core.sttree import STTree
 from repro.errors import ProfileError
 
 _SUFFIX = ".profile.json"
@@ -60,6 +61,21 @@ class ProfileStore:
                 f"(available: {self.list_workloads()})"
             )
         return AllocationProfile.load(path)
+
+    def load_tree(self, workload: str) -> STTree:
+        """The stored profile's canonical IR (the serialized STTree).
+
+        Profiles written before the IR-bearing v2 format carry only the
+        flattened directives; asking for their tree is an error rather
+        than a silent re-derivation.
+        """
+        profile = self.load(workload)
+        if profile.sttree is None:
+            raise ProfileError(
+                f"profile for {workload!r} predates the IR-bearing v2 "
+                "format and has no STTree; re-run profiling to regenerate"
+            )
+        return profile.sttree
 
     def select(
         self, expected_workload: str, fallback: Optional[str] = None

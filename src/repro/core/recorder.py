@@ -126,7 +126,9 @@ class AllocationRecords:
             with open(table_path) as handle:
                 table = json.load(handle)
         except (OSError, ValueError) as exc:
-            raise ProfileFormatError(f"cannot read trace table: {exc}") from exc
+            raise ProfileFormatError(
+                f"{table_path}: cannot read trace table: {exc}"
+            ) from exc
         for tid_str, trace_list in table.items():
             tid = int(tid_str)
             trace = tuple(

@@ -1,0 +1,371 @@
+"""Streaming profile pipeline: incremental analysis stages.
+
+The batch Analyzer (paper §3.3) holds the whole snapshot sequence and
+matches every recorded id against it after the run ends — peak memory
+O(ids × snapshots).  This module restructures that dataflow as a pipeline
+of composable stages fed one event at a time, the shape ROLP-style
+runtime profilers use:
+
+* :class:`ProfileStage` — the stage protocol: ``on_snapshot`` per
+  snapshot-point, ``on_trace_flush`` when the Recorder's streams land,
+  ``finish`` to produce the stage's artifact;
+* :class:`IncrementalAnalyzer` — the bucket algorithm as a stage: each
+  snapshot is credited into per-birth-index cohorts on arrival and then
+  dropped, so peak memory is O(live ids), not O(ids × snapshots); its
+  artifact is the canonical :class:`~repro.core.sttree.STTree` IR,
+  byte-identical to the batch Analyzer's (same shared estimation path);
+* :class:`ProfileBuilder` — the profiling entry point: owns the stage
+  list, accepts events from a source, and flattens the finished IR into
+  an :class:`~repro.core.profile.AllocationProfile`;
+* two sources driving the same stages: :class:`RecordingDirSource`
+  replays an on-disk recording directory (the offline workflow) and
+  :class:`LiveVMSource` is a VMAgent subscribing to snapshot-point
+  events inside the profiled VM (the streaming workflow).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, Iterator, List, Optional, Protocol, Sequence, TYPE_CHECKING
+
+from repro.core.analyzer import (
+    build_trace_tree,
+    estimate_trace_generations,
+    lifetime_distributions,
+)
+from repro.core.profile import AllocationProfile
+from repro.core.recorder import AllocationRecords
+from repro.core.sttree import STTree
+from repro.errors import ProfileError, ProfileFormatError
+from repro.runtime.events import SnapshotPointEvent, VMAgent
+from repro.snapshot.snapshot import Snapshot, SnapshotStore
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.dumper import Dumper
+    from repro.core.recorder import Recorder
+
+#: Files of a recording directory.  Kept here, next to the code that
+#: replays them; ``repro.core.offline`` re-exports both for callers of
+#: the historical names.
+SNAPSHOTS_FILE = "snapshots.jsonl"
+META_FILE = "meta.json"
+
+#: Version of the recording-directory layout (``meta.json`` +
+#: ``traces.json`` + ``streams.bin`` + ``snapshots.jsonl``).  Readers
+#: accept this version and older; newer versions fail with a one-line
+#: error instead of misparsing.
+RECORDING_SCHEMA_VERSION = 1
+
+
+class ProfileStage(Protocol):
+    """One stage of the streaming profile pipeline.
+
+    Stages receive each snapshot exactly once, in time order, at the
+    snapshot-point event; the Recorder's allocation records when they are
+    flushed (end of run for the live source, load time for the recording
+    source); and produce their artifact in :meth:`finish`.
+    """
+
+    def on_snapshot(self, snapshot: Snapshot) -> None: ...
+
+    def on_trace_flush(self, records: AllocationRecords) -> None: ...
+
+    def finish(self) -> object: ...
+
+
+class IncrementalAnalyzer:
+    """The bucket algorithm as a bounded-memory streaming stage.
+
+    Survival counting is the batch Analyzer's delta-chain cohort algebra
+    applied per arriving snapshot: ids are grouped into per-birth-index
+    cohorts, deaths peel off each cohort and credit the interval length.
+    A snapshot that does not chain onto the previously seen one (a full
+    image, or a delta from elsewhere) is synthesized into a born/dead
+    pair against the union of the live cohorts — crediting interval
+    lengths over those synthesized deltas sums to exactly the number of
+    snapshots each id appears live in, i.e. the batch intersection
+    count, so the resulting STTree is byte-identical either way.
+
+    Memory: the stage keeps the survival counts, the live cohorts (id
+    ints, no snapshot references), and the latest snapshot (for the
+    chain identity check) — never more than two snapshots' id sets at
+    once, and O(live ids) overall.
+    """
+
+    def __init__(self, max_generations: int = 16, min_samples: int = 8) -> None:
+        if max_generations < 2:
+            raise ProfileError("max_generations must be >= 2")
+        self.max_generations = max_generations
+        self.min_samples = min_samples
+        self.records: Optional[AllocationRecords] = None
+        self.snapshots_seen = 0
+        self._counts: Dict[int, int] = {}
+        #: birth index -> ids born there and still alive.
+        self._cohorts: Dict[int, set] = {}
+        self._previous: Optional[Snapshot] = None
+        self._tree: Optional[STTree] = None
+
+    def _credit(self, ids, amount: int) -> None:
+        # counts[oid] += amount, bulk-merging the common first-interval
+        # case and looping only over resurrections (same algebra as the
+        # batch Analyzer's delta fast path).
+        counts = self._counts
+        seen = counts.keys() & ids
+        if seen:
+            for object_id in seen:
+                counts[object_id] += amount
+            ids = set(ids) - seen
+        counts.update(dict.fromkeys(ids, amount))
+
+    # -- ProfileStage ----------------------------------------------------------------
+
+    def on_snapshot(self, snapshot: Snapshot) -> None:
+        if self._tree is not None:
+            raise ProfileError("IncrementalAnalyzer is already finished")
+        index = self.snapshots_seen
+        chained = snapshot.is_delta and snapshot.predecessor is self._previous
+        if chained:
+            born, dead = snapshot.born_ids, snapshot.dead_ids
+        else:
+            # Full image or out-of-chain delta: synthesize the delta
+            # against what the cohorts say is currently live.
+            live = snapshot.live_object_ids
+            current: set = set()
+            for cohort in self._cohorts.values():
+                current |= cohort
+            born = live - current
+            dead = current - live
+        if dead:
+            for birth in list(self._cohorts):
+                cohort = self._cohorts[birth]
+                died = cohort & dead
+                if died:
+                    cohort -= died
+                    if not cohort:
+                        del self._cohorts[birth]
+                    self._credit(died, index - birth)
+        if born:
+            self._cohorts[index] = set(born)
+        self._previous = snapshot
+        self.snapshots_seen += 1
+
+    def on_trace_flush(self, records: AllocationRecords) -> None:
+        if self.records is not None and self.records is not records:
+            raise ProfileError(
+                "IncrementalAnalyzer is already bound to different "
+                "allocation records"
+            )
+        self.records = records
+
+    def finish(self) -> STTree:
+        """Close the open cohorts and fold counts into the STTree IR."""
+        if self._tree is not None:
+            return self._tree
+        if self.records is None:
+            raise ProfileError(
+                "no allocation records flushed into the stage; feed "
+                "on_trace_flush() before finish()"
+            )
+        total = self.snapshots_seen
+        cutoff = None
+        for birth, cohort in self._cohorts.items():
+            cohort_max = max(cohort)
+            if cutoff is None or cohort_max > cutoff:
+                cutoff = cohort_max
+            self._credit(cohort, total - birth)
+        self._cohorts.clear()
+        self._previous = None
+        distributions = lifetime_distributions(self.records, self._counts, cutoff)
+        estimates = estimate_trace_generations(
+            distributions, self.max_generations, self.min_samples
+        )
+        self._tree = build_trace_tree(self.records, estimates)
+        return self._tree
+
+
+class ProfileBuilder:
+    """The profiling entry point: stages fed by a source, profile out.
+
+    Both deployment shapes run through here — ``run(RecordingDirSource)``
+    for batch-from-disk, or a :class:`LiveVMSource` pushing events during
+    the profiling run — so there is exactly one analysis code path.
+    """
+
+    def __init__(
+        self,
+        max_generations: int = 16,
+        min_samples: int = 8,
+        push_up: bool = True,
+        extra_stages: Optional[Sequence[ProfileStage]] = None,
+    ) -> None:
+        self.push_up = push_up
+        self.analyzer = IncrementalAnalyzer(
+            max_generations=max_generations, min_samples=min_samples
+        )
+        self.stages: List[ProfileStage] = [self.analyzer]
+        if extra_stages:
+            self.stages.extend(extra_stages)
+
+    # -- event intake ----------------------------------------------------------------
+
+    def feed_snapshot(self, snapshot: Snapshot) -> None:
+        for stage in self.stages:
+            stage.on_snapshot(snapshot)
+
+    def feed_trace_flush(self, records: AllocationRecords) -> None:
+        for stage in self.stages:
+            stage.on_trace_flush(records)
+
+    def run(self, source: "RecordingDirSource") -> "ProfileBuilder":
+        """Pull every event out of a replayable source."""
+        source.replay(self)
+        return self
+
+    # -- output ----------------------------------------------------------------------
+
+    def build(
+        self,
+        workload: str = "unknown",
+        metadata: Optional[Dict[str, object]] = None,
+    ) -> AllocationProfile:
+        """Finish the analysis stage and flatten its IR into a profile."""
+        tree = self.analyzer.finish()
+        records = self.analyzer.records
+        assert records is not None  # finish() above guarantees it
+        meta: Dict[str, object] = {
+            "snapshots_analyzed": self.analyzer.snapshots_seen,
+            "traces_analyzed": records.trace_count,
+            "allocations_recorded": records.total_allocations,
+            "push_up": self.push_up,
+        }
+        if metadata:
+            meta.update(metadata)
+        return AllocationProfile.from_sttree(
+            tree, workload=workload, push_up=self.push_up, metadata=meta
+        )
+
+    @classmethod
+    def from_recording(
+        cls,
+        recording_dir: str,
+        push_up: bool = True,
+        max_generations: Optional[int] = None,
+    ) -> "ProfileBuilder":
+        """One-call offline workflow: replay a recording directory."""
+        source = RecordingDirSource(recording_dir)
+        builder = cls(
+            max_generations=max_generations or source.max_generations,
+            push_up=push_up,
+        )
+        return builder.run(source)
+
+
+class RecordingDirSource:
+    """Replays an on-disk recording directory through a ProfileBuilder.
+
+    Validates ``meta.json`` up front (missing, corrupt, or
+    newer-than-supported recordings fail with a
+    :class:`~repro.errors.ProfileFormatError` naming the offending path
+    and the expected schema version) and streams ``snapshots.jsonl`` one
+    line at a time, so replay memory matches the live source's.
+    """
+
+    def __init__(self, recording_dir: str) -> None:
+        self.recording_dir = recording_dir
+        meta_path = os.path.join(recording_dir, META_FILE)
+        try:
+            with open(meta_path) as handle:
+                meta = json.load(handle)
+        except (OSError, ValueError) as exc:
+            raise ProfileFormatError(
+                f"{meta_path}: not a readable recording meta (expected "
+                f"recording schema v{RECORDING_SCHEMA_VERSION}): {exc}"
+            ) from exc
+        if not isinstance(meta, dict):
+            raise ProfileFormatError(
+                f"{meta_path}: recording meta must be a JSON object "
+                f"(expected recording schema v{RECORDING_SCHEMA_VERSION})"
+            )
+        version = meta.get("schema_version", 1)
+        if not isinstance(version, int) or version < 1:
+            raise ProfileFormatError(
+                f"{meta_path}: invalid recording schema_version {version!r} "
+                f"(expected an int <= {RECORDING_SCHEMA_VERSION})"
+            )
+        if version > RECORDING_SCHEMA_VERSION:
+            raise ProfileFormatError(
+                f"{meta_path}: recording schema v{version} is newer than "
+                f"the supported v{RECORDING_SCHEMA_VERSION}; upgrade repro "
+                "to read it"
+            )
+        self.meta = meta
+
+    @property
+    def workload(self) -> str:
+        return str(self.meta.get("workload", "unknown"))
+
+    @property
+    def max_generations(self) -> int:
+        return int(self.meta.get("max_generations", 16))
+
+    def iter_snapshots(self) -> Iterator[Snapshot]:
+        path = os.path.join(self.recording_dir, SNAPSHOTS_FILE)
+        try:
+            yield from SnapshotStore.iter_file(path)
+        except OSError as exc:
+            raise ProfileFormatError(
+                f"{path}: cannot read recording snapshots (recording "
+                f"schema v{RECORDING_SCHEMA_VERSION}): {exc}"
+            ) from exc
+        except ValueError as exc:
+            raise ProfileFormatError(
+                f"{path}: corrupt snapshot line (recording schema "
+                f"v{RECORDING_SCHEMA_VERSION}): {exc}"
+            ) from exc
+
+    def load_records(self) -> AllocationRecords:
+        return AllocationRecords.load_from_dir(self.recording_dir)
+
+    def replay(self, builder: ProfileBuilder) -> None:
+        for snapshot in self.iter_snapshots():
+            builder.feed_snapshot(snapshot)
+        builder.feed_trace_flush(self.load_records())
+
+
+class LiveVMSource(VMAgent):
+    """Streams a live VM's snapshot points into a ProfileBuilder.
+
+    Attach AFTER the Dumper: snapshot-point listeners run in attachment
+    order, so the Dumper's snapshot is already in its store when this
+    agent forwards it.  Call :meth:`flush` once the run ends to hand the
+    Recorder's completed streams to the stages.
+    """
+
+    def __init__(
+        self,
+        builder: ProfileBuilder,
+        recorder: "Recorder",
+        dumper: "Dumper",
+    ) -> None:
+        self.builder = builder
+        self.recorder = recorder
+        self.dumper = dumper
+        self._forwarded = 0
+
+    def on_snapshot_point(self, event: SnapshotPointEvent) -> None:
+        store = self.dumper.store
+        if len(store) == self._forwarded:
+            raise ProfileError(
+                "LiveVMSource saw a snapshot point before the Dumper's "
+                "snapshot landed; attach the Dumper first"
+            )
+        self.builder.feed_snapshot(store[-1])
+        self._forwarded = len(store)
+
+    def flush(self) -> None:
+        """End of run: flush the Recorder's streams into the stages."""
+        self.builder.feed_trace_flush(self.recorder.records)
+
+    def telemetry(self) -> Dict[str, int]:
+        return {"snapshots_streamed": self._forwarded}

@@ -19,10 +19,20 @@ brackets where no distinguishing call site exists.
 from __future__ import annotations
 
 import dataclasses
+import hashlib
+import json
 from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
 
-from repro.errors import ConflictResolutionError
+from repro.errors import ConflictResolutionError, ProfileFormatError
 from repro.runtime.code import CodeLocation
+
+#: On-disk marker of the serialized STTree IR.
+STTREE_FORMAT = "polm2-sttree"
+
+#: Version of the canonical profile IR.  v1 is the implicit pre-IR form
+#: (flat directive lists with no tree); the STTree serialization starts
+#: at 2 so profile files and their embedded IR share one version number.
+STTREE_SCHEMA_VERSION = 2
 
 
 class STNode:
@@ -171,6 +181,98 @@ class STTree:
     @property
     def leaves(self) -> List[STNode]:
         return list(self._leaves)
+
+    # -- the canonical profile IR (versioned serialization) -------------------------
+    #
+    # The STTree is the one in-memory profile intermediate representation:
+    # the Analyzer stages produce it, the Instrumenter and the profile
+    # store consume it, and this payload is its canonical on-disk form.
+    # Entries are (full stack path, target generation, object count)
+    # triples sorted canonically, so two trees with the same leaves
+    # serialize identically regardless of insertion order — which is what
+    # makes ``digest()`` a content-hash id usable for byte-for-byte
+    # parity checks.
+
+    def to_payload(self) -> Dict:
+        """The canonical, insertion-order-independent IR payload."""
+        entries = [
+            [
+                [list(location) for location in leaf.path()],
+                leaf.target_gen,
+                leaf.object_count,
+            ]
+            for leaf in self._leaves
+        ]
+        entries.sort()
+        return {
+            "format": STTREE_FORMAT,
+            "schema_version": STTREE_SCHEMA_VERSION,
+            "entries": entries,
+        }
+
+    def digest(self) -> str:
+        """Content-hash id of the serialized IR (sha256 hex)."""
+        canonical = json.dumps(
+            self.to_payload(), sort_keys=True, separators=(",", ":")
+        )
+        return hashlib.sha256(canonical.encode()).hexdigest()
+
+    def to_json(self) -> str:
+        payload = self.to_payload()
+        payload["content_hash"] = self.digest()
+        return json.dumps(payload, indent=2, sort_keys=True)
+
+    @classmethod
+    def from_payload(cls, payload: Dict) -> "STTree":
+        """Rebuild a tree from :meth:`to_payload` output.
+
+        Raises :class:`~repro.errors.ProfileFormatError` on a foreign
+        format marker, a schema version newer than this code supports,
+        or malformed entries.
+        """
+        if not isinstance(payload, dict) or payload.get("format") != STTREE_FORMAT:
+            raise ProfileFormatError(
+                f"not a serialized STTree: format marker is "
+                f"{payload.get('format')!r} (expected {STTREE_FORMAT!r})"
+                if isinstance(payload, dict)
+                else f"not a serialized STTree payload: {type(payload).__name__}"
+            )
+        version = payload.get("schema_version")
+        if not isinstance(version, int) or version < 2:
+            raise ProfileFormatError(
+                f"invalid STTree schema_version {version!r} "
+                f"(expected an int >= 2)"
+            )
+        if version > STTREE_SCHEMA_VERSION:
+            raise ProfileFormatError(
+                f"profile IR schema v{version} is newer than the supported "
+                f"v{STTREE_SCHEMA_VERSION}; upgrade repro to read it"
+            )
+        tree = cls()
+        try:
+            for path, target_gen, object_count in payload["entries"]:
+                trace = tuple(
+                    (frame[0], frame[1], int(frame[2])) for frame in path
+                )
+                tree.insert(trace, int(target_gen), int(object_count))
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ProfileFormatError(f"malformed STTree entry: {exc}") from exc
+        return tree
+
+    @classmethod
+    def from_json(cls, text: str) -> "STTree":
+        try:
+            payload = json.loads(text)
+        except ValueError as exc:
+            raise ProfileFormatError(f"invalid STTree JSON: {exc}") from exc
+        tree = cls.from_payload(payload)
+        stored_hash = payload.get("content_hash")
+        if stored_hash is not None and stored_hash != tree.digest():
+            raise ProfileFormatError(
+                "STTree content hash mismatch: file is corrupt or was "
+                "edited by hand"
+            )
+        return tree
 
     # -- conflict detection (Algorithm 1, Detect Conflicts) -------------------------
 

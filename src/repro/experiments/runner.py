@@ -51,7 +51,8 @@ STRATEGIES = ("g1", "ng2c", "polm2", "c4")
 PAUSE_STRATEGIES = ("g1", "ng2c", "polm2")
 
 #: Cache-format version; bump on incompatible PhaseResult layout changes.
-CACHE_FORMAT = "matrix-cache-v1"
+#: v2: profiles embed the versioned STTree IR (polm2-profile-v2).
+CACHE_FORMAT = "matrix-cache-v2"
 
 #: The pseudo-strategy key the profiling phase is cached under.
 PROFILING_KEY = "polm2-profiling"

@@ -55,6 +55,9 @@ class Snapshot:
         "dead_ids",
         "_predecessor",
         "_live_ids",
+        # Weak referencing lets the memory-accounting tests observe that
+        # the streaming stages really drop snapshots after consuming them.
+        "__weakref__",
     )
 
     def __init__(
@@ -317,9 +320,15 @@ class SnapshotStore:
                 handle.write(json.dumps(snapshot.to_dict()) + "\n")
 
     @classmethod
-    def load(cls, path: str) -> "SnapshotStore":
-        """Read either format; delta lines chain onto the previous line."""
-        store = cls()
+    def iter_file(cls, path: str) -> Iterator[Snapshot]:
+        """Stream snapshots from a JSON-lines file, one line at a time.
+
+        Unlike :meth:`load`, nothing here retains the whole sequence:
+        each delta line chains onto the previous snapshot (so lazy
+        live-set decoding still works) but the *caller* decides what
+        stays alive — the streaming analyzer keeps only the latest, so
+        replaying a recording never materializes every live set at once.
+        """
         previous: Optional[Snapshot] = None
         with open(path) as handle:
             for line in handle:
@@ -328,8 +337,15 @@ class SnapshotStore:
                     snapshot = Snapshot.from_dict(
                         json.loads(line), predecessor=previous
                     )
-                    store.append(snapshot)
+                    yield snapshot
                     previous = snapshot
+
+    @classmethod
+    def load(cls, path: str) -> "SnapshotStore":
+        """Read either format; delta lines chain onto the previous line."""
+        store = cls()
+        for snapshot in cls.iter_file(path):
+            store.append(snapshot)
         return store
 
     # -- pickling: ship the delta payloads, rebuild the chain iteratively.

@@ -52,9 +52,11 @@ class StrategySpec:
     ``collector_factory``
         Zero-argument callable producing a fresh collector per run.
     ``needs_profile``
-        True when the strategy consumes an allocation profile (the
-        pipeline runs a profiling phase first, or the caller supplies a
-        saved one).
+        True when the strategy consumes an allocation profile.  Profiles
+        are produced by the :class:`~repro.core.stages.ProfileBuilder`
+        entry point (the pipeline's streaming profiling phase, the
+        offline ``analyze_recording`` replay, or a saved profile file —
+        all the same stage pipeline underneath).
     ``build_agents``
         ``(StrategyContext) -> agents`` — the agents to attach via
         ``vm.attach_agent`` before classes load.  May raise

@@ -2,8 +2,13 @@
 
 import random
 
+from repro.config import SimConfig
 from repro.core.analyzer import Analyzer
-from repro.core.recorder import AllocationRecords
+from repro.core.dumper import Dumper
+from repro.core.recorder import AllocationRecords, Recorder
+from repro.gc.g1 import G1Collector
+from repro.runtime.code import ClassModel
+from repro.runtime.vm import VM
 from repro.snapshot.snapshot import Snapshot
 
 TRACE_A = (("C", "site_a", 10),)
@@ -149,3 +154,55 @@ class TestMemoization:
         analyzer.site_report()
         analyzer.build_profile()
         assert calls["n"] == 1
+
+
+class TestHumongousMixedLifetimes:
+    def test_delta_matches_intersection_with_humongous_objects(self):
+        """Fast path == fallback on a mixed-lifetime run with humongous objects.
+
+        Multi-region objects never move and are reclaimed by a separate
+        path than regular evacuation, so their ids enter and leave the
+        snapshot live-sets differently — the delta cohort algebra must
+        still count them exactly like the intersection fallback.
+        """
+        vm = VM(SimConfig.small(), collector=G1Collector())
+        recorder = Recorder(snapshot_every=1)
+        dumper = Dumper(vm)
+        recorder.attach(vm, dumper)
+        region = vm.heap.region_size
+        model = ClassModel("H")
+        method = model.add_method("run")
+        method.add_alloc_site(1, "BigLived", 2 * region)
+        method.add_alloc_site(2, "Small", 512)
+        method.add_alloc_site(3, "BigTemp", 2 * region)
+        vm.classloader.load(model)
+        thread = vm.new_thread("t")
+        humongous_high_water = 0
+        pinned = 0
+        with thread.entry("H", "run"):
+            for step in range(12_000):
+                if step % 1_500 == 0:
+                    # Long-lived humongous: rooted for a few GC cycles,
+                    # then released (mixed lifetimes, not just immortal).
+                    vm.roots.pin(f"big{pinned}", thread.alloc(1, keep=False))
+                    pinned += 1
+                    if pinned > 3:
+                        vm.roots.unpin(f"big{pinned - 4}")
+                if step % 700 == 0:
+                    thread.alloc(3, keep=False)  # humongous garbage
+                thread.alloc(2, keep=False)  # short-lived filler
+                humongous_high_water = max(
+                    humongous_high_water, vm.heap.humongous_count
+                )
+        assert humongous_high_water > 0
+        assert len(dumper.store) >= 3
+
+        analyzer = Analyzer(recorder.records, list(dumper.store))
+        assert analyzer._has_delta_chain()
+        recorded = analyzer._recorded_ids()
+        delta_counts = {
+            oid: count
+            for oid, count in analyzer._survival_counts_delta().items()
+            if oid in recorded
+        }
+        assert delta_counts == dict(analyzer._survival_counts_intersection())

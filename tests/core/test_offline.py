@@ -2,11 +2,17 @@
 
 import json
 import os
+import shutil
 
 import pytest
 
-from repro.core.offline import analyze_recording, record_to_dir
+from repro.core.offline import (
+    RECORDING_SCHEMA_VERSION,
+    analyze_recording,
+    record_to_dir,
+)
 from repro.core.pipeline import POLM2Pipeline
+from repro.core.recorder import AllocationRecords
 from repro.errors import ProfileFormatError
 from repro.snapshot.snapshot import Snapshot, SnapshotStore
 from repro.workloads import make_workload
@@ -71,3 +77,110 @@ class TestRecordAnalyze:
         pipeline = POLM2Pipeline(lambda: make_workload("cassandra-wi", seed=7))
         result = pipeline.run_production_phase(profile, duration_ms=8_000.0)
         assert result.ops_completed > 0
+
+    def test_meta_carries_schema_version(self, recording):
+        with open(os.path.join(recording, "meta.json")) as handle:
+            meta = json.load(handle)
+        assert meta["schema_version"] == RECORDING_SCHEMA_VERSION
+
+
+class TestRecordingFormatErrors:
+    """Corrupt or future-versioned recordings fail loudly, naming the file."""
+
+    @pytest.fixture(scope="class")
+    def recording(self, tmp_path_factory):
+        out = str(tmp_path_factory.mktemp("rec-err") / "cassandra-wi")
+        record_to_dir("cassandra-wi", out, duration_ms=4_000.0, seed=5)
+        return out
+
+    def _copy(self, recording, tmp_path):
+        dest = str(tmp_path / "copy")
+        shutil.copytree(recording, dest)
+        return dest
+
+    def test_missing_meta_names_path_and_version(self, tmp_path):
+        with pytest.raises(ProfileFormatError) as err:
+            analyze_recording(str(tmp_path))
+        message = str(err.value)
+        assert os.path.join(str(tmp_path), "meta.json") in message
+        assert f"schema v{RECORDING_SCHEMA_VERSION}" in message
+
+    def test_corrupt_meta_names_path_and_version(self, recording, tmp_path):
+        broken = self._copy(recording, tmp_path)
+        with open(os.path.join(broken, "meta.json"), "w") as handle:
+            handle.write("{not json")
+        with pytest.raises(ProfileFormatError) as err:
+            analyze_recording(broken)
+        message = str(err.value)
+        assert os.path.join(broken, "meta.json") in message
+        assert f"schema v{RECORDING_SCHEMA_VERSION}" in message
+
+    def test_future_recording_schema_rejected(self, recording, tmp_path):
+        broken = self._copy(recording, tmp_path)
+        meta_path = os.path.join(broken, "meta.json")
+        with open(meta_path) as handle:
+            meta = json.load(handle)
+        meta["schema_version"] = RECORDING_SCHEMA_VERSION + 1
+        with open(meta_path, "w") as handle:
+            json.dump(meta, handle)
+        with pytest.raises(ProfileFormatError) as err:
+            analyze_recording(broken)
+        message = str(err.value)
+        assert "\n" not in message
+        assert "newer than the supported" in message
+
+    def test_truncated_streams_names_path(self, recording, tmp_path):
+        broken = self._copy(recording, tmp_path)
+        streams_path = os.path.join(broken, "streams.bin")
+        size = os.path.getsize(streams_path)
+        with open(streams_path, "rb") as handle:
+            blob = handle.read(size - 4)
+        with open(streams_path, "wb") as handle:
+            handle.write(blob)
+        with pytest.raises(ProfileFormatError) as err:
+            analyze_recording(broken)
+        message = str(err.value)
+        assert streams_path in message
+        assert "truncated" in message
+
+    def test_missing_snapshots_names_path(self, recording, tmp_path):
+        broken = self._copy(recording, tmp_path)
+        snapshots_path = os.path.join(broken, "snapshots.jsonl")
+        os.remove(snapshots_path)
+        with pytest.raises(ProfileFormatError) as err:
+            analyze_recording(broken)
+        assert snapshots_path in str(err.value)
+
+    def test_corrupt_snapshot_line_names_path(self, recording, tmp_path):
+        broken = self._copy(recording, tmp_path)
+        snapshots_path = os.path.join(broken, "snapshots.jsonl")
+        with open(snapshots_path, "a") as handle:
+            handle.write("{broken line\n")
+        with pytest.raises(ProfileFormatError) as err:
+            analyze_recording(broken)
+        message = str(err.value)
+        assert snapshots_path in message
+        assert "corrupt snapshot line" in message
+
+
+class TestLegacyStreamLayout:
+    """Pre-streams.bin recordings (one text file per trace) still analyze."""
+
+    def test_legacy_layout_round_trips(self, tmp_path):
+        modern = str(tmp_path / "modern")
+        record_to_dir("cassandra-wi", modern, duration_ms=4_000.0, seed=3)
+
+        legacy = str(tmp_path / "legacy")
+        shutil.copytree(modern, legacy)
+        records = AllocationRecords.load_from_dir(legacy)
+        os.remove(os.path.join(legacy, "streams.bin"))
+        for tid, stream in records.streams.items():
+            with open(os.path.join(legacy, f"stream_{tid}.ids"), "w") as handle:
+                handle.write("\n".join(str(oid) for oid in stream))
+
+        from_modern = analyze_recording(modern)
+        from_legacy = analyze_recording(legacy)
+        assert from_legacy.to_json() == from_modern.to_json()
+        assert (
+            from_legacy.sttree.digest() == from_modern.sttree.digest()
+        )
