@@ -34,8 +34,26 @@ def cmd_workloads(_args) -> int:
 
 
 def cmd_profile(args) -> int:
-    pipeline = POLM2Pipeline(lambda: make_workload(args.workload, seed=args.seed))
-    profile = pipeline.run_profiling_phase(duration_ms=args.duration_ms)
+    if args.keep_recording:
+        # Record-then-analyze: leaves the raw recording behind in the
+        # chosen snapshot format and produces the same profile (the
+        # streaming replay is digest-identical to the in-VM path).
+        from repro.core.offline import analyze_recording, record_to_dir
+
+        record_to_dir(
+            args.workload,
+            args.keep_recording,
+            duration_ms=args.duration_ms,
+            seed=args.seed,
+            snapshot_format=args.snapshot_format,
+        )
+        print(f"recording kept -> {args.keep_recording}")
+        profile = analyze_recording(args.keep_recording)
+    else:
+        pipeline = POLM2Pipeline(
+            lambda: make_workload(args.workload, seed=args.seed)
+        )
+        profile = pipeline.run_profiling_phase(duration_ms=args.duration_ms)
     print(
         f"{profile.instrumented_site_count} sites, "
         f"{profile.generations_used} generations, "
@@ -54,6 +72,7 @@ def cmd_record(args) -> int:
         args.output,
         duration_ms=args.duration_ms,
         seed=args.seed,
+        snapshot_format=args.snapshot_format,
     )
     print(f"recording saved -> {args.output}")
     return 0
@@ -116,6 +135,18 @@ def cmd_evaluate(args) -> int:
     return 0
 
 
+def _add_snapshot_format_option(parser: argparse.ArgumentParser) -> None:
+    from repro.snapshot.snapshot import SNAPSHOT_FORMATS
+
+    parser.add_argument(
+        "--snapshot-format",
+        choices=SNAPSHOT_FORMATS,
+        default=None,
+        help="on-disk snapshot store format (default: "
+        "$REPRO_SNAPSHOT_FORMAT or binary)",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
@@ -129,6 +160,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_profile.add_argument("-o", "--output", default="profile.json")
     p_profile.add_argument("--duration-ms", type=float, default=30_000.0)
     p_profile.add_argument("--seed", type=int, default=42)
+    p_profile.add_argument(
+        "--keep-recording",
+        metavar="DIR",
+        help="also persist the raw recording to DIR (record + analyze)",
+    )
+    _add_snapshot_format_option(p_profile)
     p_profile.set_defaults(func=cmd_profile)
 
     p_record = sub.add_parser("record", help="record raw profiling data")
@@ -136,6 +173,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_record.add_argument("-o", "--output", default="recording")
     p_record.add_argument("--duration-ms", type=float, default=30_000.0)
     p_record.add_argument("--seed", type=int, default=42)
+    _add_snapshot_format_option(p_record)
     p_record.set_defaults(func=cmd_record)
 
     p_analyze = sub.add_parser("analyze", help="analyze a recording dir")

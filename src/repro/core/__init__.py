@@ -17,6 +17,7 @@ orchestration of §3.5:
 
 from repro.core.analyzer import Analyzer
 from repro.core.dumper import Dumper
+from repro.core.idset import EMPTY_IDSET, IdSet
 from repro.core.instrumenter import Instrumenter
 from repro.core.pipeline import POLM2Pipeline, PhaseResult
 from repro.core.profile import AllocationProfile, AllocDirective, CallDirective
@@ -38,6 +39,8 @@ __all__ = [
     "Analyzer",
     "CallDirective",
     "Dumper",
+    "EMPTY_IDSET",
+    "IdSet",
     "IncrementalAnalyzer",
     "Instrumenter",
     "LiveVMSource",

@@ -24,6 +24,7 @@ import dataclasses
 import warnings
 from typing import Dict, Optional, Sequence
 
+from repro.core.idset import EMPTY_IDSET, IdSet
 from repro.core.profile import AllocationProfile
 from repro.core.recorder import AllocationRecords
 from repro.core.sttree import STTree
@@ -95,6 +96,23 @@ def survival_to_generation(survival: int, max_generations: int) -> int:
 # (``repro.core.stages``) differ only in how survival counts are
 # accumulated; everything from counts to the STTree is this one shared
 # path, which is what makes their outputs byte-identical.
+
+
+def credit_counts(counts: Dict[int, int], ids, amount: int) -> None:
+    """``counts[oid] += amount`` for every id in ``ids``.
+
+    Shared by both analyzers' cohort algebra.  Bulk-merges the common
+    first-interval case with one ``dict.fromkeys`` and loops only over
+    resurrections (ids already credited once).  ``ids`` may be an
+    :class:`~repro.core.idset.IdSet` or any iterable of ints.
+    """
+    id_list = ids.to_list() if isinstance(ids, IdSet) else list(ids)
+    seen = counts.keys() & id_list
+    if seen:
+        for object_id in seen:
+            counts[object_id] += amount
+        id_list = [oid for oid in id_list if oid not in seen]
+    counts.update(dict.fromkeys(id_list, amount))
 
 
 def lifetime_distributions(
@@ -227,61 +245,52 @@ class Analyzer:
         the number of snapshots between its birth and its death —
         O(ids + deltas) instead of O(snapshots × live).
 
-        Ids are tracked as per-birth-index *cohorts* so the inner work is
-        set algebra (C speed) rather than per-id Python loops: deaths are
-        peeled off each cohort with one intersection per (snapshot,
-        cohort) pair, and counts land via bulk ``dict.fromkeys`` merges.
-        Resurrected ids (dead then born again) are the rare slow path.
-        Returns counts for *all* observed ids; ``survival_counts()``
-        narrows to recorded ones.
+        Ids are tracked as per-birth-index *cohorts* — immutable
+        :class:`~repro.core.idset.IdSet` kernels, so deaths are peeled
+        off each cohort with one chunked-bitmap intersection per
+        (snapshot, cohort) pair and counts land via bulk
+        ``dict.fromkeys`` merges.  Resurrected ids (dead then born
+        again) are the rare slow path.  Returns counts for *all*
+        observed ids; ``survival_counts()`` narrows to recorded ones.
         """
         counts: Dict[int, int] = {}
-
-        def credit(ids, amount: int) -> None:
-            # counts[oid] += amount for every id, bulk-merging the common
-            # first-interval case and looping only over resurrections.
-            seen = counts.keys() & ids
-            if seen:
-                for object_id in seen:
-                    counts[object_id] += amount
-                ids = set(ids) - seen
-            counts.update(dict.fromkeys(ids, amount))
-
         #: birth index -> ids born there and still alive.
-        cohorts: Dict[int, set] = {}
+        cohorts: Dict[int, IdSet] = {}
         for index, snapshot in enumerate(self.snapshots):
             if snapshot.is_delta:
                 born, dead = snapshot.born_ids, snapshot.dead_ids
             else:  # the full first image: everything is newly visible
-                born, dead = snapshot.live_object_ids, frozenset()
+                born, dead = snapshot.live_object_ids, EMPTY_IDSET
             if dead:
                 for birth in list(cohorts):
                     cohort = cohorts[birth]
                     died = cohort & dead
                     if died:
-                        cohort -= died
-                        if not cohort:
+                        remaining = cohort - died
+                        if remaining:
+                            cohorts[birth] = remaining
+                        else:
                             del cohorts[birth]
-                        credit(died, index - birth)
+                        credit_counts(counts, died, index - birth)
             if born:
-                cohorts[index] = set(born)
+                cohorts[index] = born
         total = len(self.snapshots)
         final_live_max = None
         for birth, cohort in cohorts.items():
-            cohort_max = max(cohort)
+            cohort_max = cohort.max()
             if final_live_max is None or cohort_max > final_live_max:
                 final_live_max = cohort_max
-            credit(cohort, total - birth)
+            credit_counts(counts, cohort, total - birth)
         self._final_live_max = final_live_max
         return counts
 
     def _survival_counts_intersection(self) -> Dict[int, int]:
         """Fallback for arbitrary (non-chained) snapshot sequences:
-        per-snapshot set intersections against the recorded ids."""
-        recorded = self._recorded_ids()
+        per-snapshot kernel intersections against the recorded ids."""
+        recorded = IdSet(self._recorded_ids())
         counts: Dict[int, int] = collections.defaultdict(int)
         for snapshot in self.snapshots:
-            for object_id in snapshot.live_object_ids & recorded:
+            for object_id in (snapshot.live_object_ids & recorded).to_list():
                 counts[object_id] += 1
         return dict(counts)
 
@@ -324,7 +333,7 @@ class Analyzer:
         last = self.snapshots[-1]
         if not last.live_object_ids:
             return None
-        return max(last.live_object_ids)
+        return last.live_object_ids.max()
 
     def distributions(self) -> Dict[int, LifetimeDistribution]:
         """Per-trace survival histograms (memoized)."""

@@ -29,21 +29,47 @@ from repro.core.recorder import Recorder
 from repro.core.stages import (
     META_FILE,
     RECORDING_SCHEMA_VERSION,
+    SNAPSHOTS_BIN_FILE,
     SNAPSHOTS_FILE,
     ProfileBuilder,
     RecordingDirSource,
 )
+from repro.errors import ReproError
 from repro.gc.ng2c import NG2CCollector
 from repro.runtime.vm import VM
+from repro.snapshot.snapshot import SNAPSHOT_FORMATS
 from repro.workloads import make_workload
 
 __all__ = [
     "META_FILE",
     "RECORDING_SCHEMA_VERSION",
+    "SNAPSHOTS_BIN_FILE",
     "SNAPSHOTS_FILE",
     "analyze_recording",
     "record_to_dir",
+    "resolve_snapshot_format",
 ]
+
+#: Environment override for the on-disk snapshot format.
+SNAPSHOT_FORMAT_ENV = "REPRO_SNAPSHOT_FORMAT"
+
+
+def resolve_snapshot_format(value: Optional[str] = None) -> str:
+    """Pick the snapshot store format: argument, env, or the default.
+
+    Precedence: an explicit ``value`` (e.g. a CLI flag), then the
+    ``REPRO_SNAPSHOT_FORMAT`` environment variable, then ``"binary"``.
+    Anything outside :data:`~repro.snapshot.snapshot.SNAPSHOT_FORMATS`
+    raises :class:`~repro.errors.ReproError` naming the offender.
+    """
+    chosen = value or os.environ.get(SNAPSHOT_FORMAT_ENV) or "binary"
+    if chosen not in SNAPSHOT_FORMATS:
+        source = "snapshot format" if value else f"${SNAPSHOT_FORMAT_ENV}"
+        raise ReproError(
+            f"invalid {source} {chosen!r}; choose one of "
+            f"{', '.join(SNAPSHOT_FORMATS)}"
+        )
+    return chosen
 
 
 def record_to_dir(
@@ -53,12 +79,17 @@ def record_to_dir(
     seed: int = 42,
     snapshot_every: int = 1,
     config: Optional[SimConfig] = None,
+    snapshot_format: Optional[str] = None,
 ) -> str:
     """Run the profiling phase and persist the raw recording.
 
     Returns ``output_dir``.  The directory is self-describing: a later
-    :func:`analyze_recording` needs nothing else.
+    :func:`analyze_recording` needs nothing else.  ``snapshot_format``
+    picks the snapshot store layout (binary columnar by default, see
+    :func:`resolve_snapshot_format`); the choice is stamped into
+    ``meta.json``.
     """
+    snapshot_format = resolve_snapshot_format(snapshot_format)
     workload = make_workload(workload_name, seed=seed)
     collector = NG2CCollector()
     vm = VM(config or SimConfig(seed=seed), collector=collector)
@@ -74,7 +105,12 @@ def record_to_dir(
 
     os.makedirs(output_dir, exist_ok=True)
     recorder.records.flush_to_dir(output_dir)
-    dumper.store.save(os.path.join(output_dir, SNAPSHOTS_FILE))
+    snapshots_file = (
+        SNAPSHOTS_BIN_FILE if snapshot_format == "binary" else SNAPSHOTS_FILE
+    )
+    dumper.store.save(
+        os.path.join(output_dir, snapshots_file), format=snapshot_format
+    )
     with open(os.path.join(output_dir, META_FILE), "w") as handle:
         json.dump(
             {
@@ -83,6 +119,7 @@ def record_to_dir(
                 "seed": seed,
                 "duration_ms": duration_ms,
                 "snapshot_every": snapshot_every,
+                "snapshot_format": snapshot_format,
                 "max_generations": vm.config.max_generations,
                 "allocations_recorded": recorder.records.total_allocations,
                 "snapshots_taken": len(dumper.store),

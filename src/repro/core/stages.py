@@ -31,9 +31,11 @@ from typing import Dict, Iterator, List, Optional, Protocol, Sequence, TYPE_CHEC
 
 from repro.core.analyzer import (
     build_trace_tree,
+    credit_counts,
     estimate_trace_generations,
     lifetime_distributions,
 )
+from repro.core.idset import IdSet
 from repro.core.profile import AllocationProfile
 from repro.core.recorder import AllocationRecords
 from repro.core.sttree import STTree
@@ -47,7 +49,10 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 
 #: Files of a recording directory.  Kept here, next to the code that
 #: replays them; ``repro.core.offline`` re-exports both for callers of
-#: the historical names.
+#: the historical names.  New recordings default to the binary columnar
+#: ``snapshots.bin``; ``snapshots.jsonl`` stays readable as the legacy
+#: format.
+SNAPSHOTS_BIN_FILE = "snapshots.bin"
 SNAPSHOTS_FILE = "snapshots.jsonl"
 META_FILE = "meta.json"
 
@@ -102,21 +107,9 @@ class IncrementalAnalyzer:
         self.snapshots_seen = 0
         self._counts: Dict[int, int] = {}
         #: birth index -> ids born there and still alive.
-        self._cohorts: Dict[int, set] = {}
+        self._cohorts: Dict[int, IdSet] = {}
         self._previous: Optional[Snapshot] = None
         self._tree: Optional[STTree] = None
-
-    def _credit(self, ids, amount: int) -> None:
-        # counts[oid] += amount, bulk-merging the common first-interval
-        # case and looping only over resurrections (same algebra as the
-        # batch Analyzer's delta fast path).
-        counts = self._counts
-        seen = counts.keys() & ids
-        if seen:
-            for object_id in seen:
-                counts[object_id] += amount
-            ids = set(ids) - seen
-        counts.update(dict.fromkeys(ids, amount))
 
     # -- ProfileStage ----------------------------------------------------------------
 
@@ -131,9 +124,7 @@ class IncrementalAnalyzer:
             # Full image or out-of-chain delta: synthesize the delta
             # against what the cohorts say is currently live.
             live = snapshot.live_object_ids
-            current: set = set()
-            for cohort in self._cohorts.values():
-                current |= cohort
+            current = IdSet.union_all(self._cohorts.values())
             born = live - current
             dead = current - live
         if dead:
@@ -141,12 +132,14 @@ class IncrementalAnalyzer:
                 cohort = self._cohorts[birth]
                 died = cohort & dead
                 if died:
-                    cohort -= died
-                    if not cohort:
+                    remaining = cohort - died
+                    if remaining:
+                        self._cohorts[birth] = remaining
+                    else:
                         del self._cohorts[birth]
-                    self._credit(died, index - birth)
+                    credit_counts(self._counts, died, index - birth)
         if born:
-            self._cohorts[index] = set(born)
+            self._cohorts[index] = born
         self._previous = snapshot
         self.snapshots_seen += 1
 
@@ -170,10 +163,10 @@ class IncrementalAnalyzer:
         total = self.snapshots_seen
         cutoff = None
         for birth, cohort in self._cohorts.items():
-            cohort_max = max(cohort)
+            cohort_max = cohort.max()
             if cutoff is None or cohort_max > cutoff:
                 cutoff = cohort_max
-            self._credit(cohort, total - birth)
+            credit_counts(self._counts, cohort, total - birth)
         self._cohorts.clear()
         self._previous = None
         distributions = lifetime_distributions(self.records, self._counts, cutoff)
@@ -267,8 +260,9 @@ class RecordingDirSource:
     Validates ``meta.json`` up front (missing, corrupt, or
     newer-than-supported recordings fail with a
     :class:`~repro.errors.ProfileFormatError` naming the offending path
-    and the expected schema version) and streams ``snapshots.jsonl`` one
-    line at a time, so replay memory matches the live source's.
+    and the expected schema version) and streams ``snapshots.bin``
+    (falling back to legacy ``snapshots.jsonl``) one snapshot at a
+    time, so replay memory matches the live source's.
     """
 
     def __init__(self, recording_dir: str) -> None:
@@ -310,7 +304,11 @@ class RecordingDirSource:
         return int(self.meta.get("max_generations", 16))
 
     def iter_snapshots(self) -> Iterator[Snapshot]:
-        path = os.path.join(self.recording_dir, SNAPSHOTS_FILE)
+        # New recordings write the binary columnar store; fall back to
+        # the legacy JSON-lines file when it is absent.
+        path = os.path.join(self.recording_dir, SNAPSHOTS_BIN_FILE)
+        if not os.path.exists(path):
+            path = os.path.join(self.recording_dir, SNAPSHOTS_FILE)
         try:
             yield from SnapshotStore.iter_file(path)
         except OSError as exc:

@@ -52,7 +52,9 @@ PAUSE_STRATEGIES = ("g1", "ng2c", "polm2")
 
 #: Cache-format version; bump on incompatible PhaseResult layout changes.
 #: v2: profiles embed the versioned STTree IR (polm2-profile-v2).
-CACHE_FORMAT = "matrix-cache-v2"
+#: v3: snapshot id sets ride the compact IdSet kernel / binary columnar
+#: store (polm2-snapshots-v2) — stale v2 cells must not mix with them.
+CACHE_FORMAT = "matrix-cache-v3"
 
 #: The pseudo-strategy key the profiling phase is cached under.
 PROFILING_KEY = "polm2-profiling"

@@ -1,0 +1,239 @@
+"""Binary columnar snapshot store (``snapshots.bin``).
+
+The JSON-lines snapshot file spends most of its load time parsing id
+lists out of text and boxing them into frozensets.  This module replaces
+it with a columnar binary layout, schema ``polm2-snapshots-v2``:
+
+```
+magic    8 B   b"POLM2SNP"
+u32      4 B   metadata header length (little-endian)
+header         JSON object:
+                 schema        "polm2-snapshots-v2"
+                 count         number of snapshots
+                 columns       per-field metadata columns, one entry per
+                               snapshot: seq, time_ms, engine,
+                               pages_written, size_bytes, duration_us,
+                               incremental, kind ("delta" | "full")
+id columns     per snapshot, in order:
+                 delta  -> u32 len + born_ids column
+                           u32 len + dead_ids column
+                 full   -> u32 len + live_object_ids column
+```
+
+Each id column is an :meth:`repro.core.idset.IdSet.to_bytes` payload —
+varint-delta runs for sparse chunks, raw bitmap blocks for dense ranges
+— so decoding a column is mostly one C ``int.from_bytes`` per dense
+chunk.  Columns are length-prefixed, which makes the file mmap-friendly:
+a reader can locate any snapshot's columns by skipping, and truncation
+is detected (and reported with the offending path and field) instead of
+misparsed.
+
+Version policy matches the profile IR (``polm2-profile-v2``): this
+reader accepts exactly ``polm2-snapshots-v2``; a future
+``polm2-snapshots-v3`` file fails with a one-line
+:class:`~repro.errors.ProfileFormatError` telling the user to upgrade,
+never a misparse.  Legacy ``snapshots.jsonl`` recordings keep loading
+through :meth:`repro.snapshot.snapshot.SnapshotStore.iter_file`, which
+sniffs the magic and falls back to the JSON-lines reader.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from typing import Iterator, Optional, Sequence, TYPE_CHECKING
+
+from repro.core.idset import IdSet
+from repro.errors import ProfileFormatError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.snapshot.snapshot import Snapshot
+
+#: First bytes of every binary snapshot store.
+SNAPSHOTS_MAGIC = b"POLM2SNP"
+
+#: Schema identifier embedded in (and required from) the header.
+SNAPSHOTS_SCHEMA = "polm2-snapshots-v2"
+
+_LEN = struct.Struct("<I")
+
+#: Metadata columns, in header order.
+_COLUMNS = (
+    "seq",
+    "time_ms",
+    "engine",
+    "pages_written",
+    "size_bytes",
+    "duration_us",
+    "incremental",
+    "kind",
+)
+
+
+def write_store(path: str, snapshots: Sequence["Snapshot"]) -> None:
+    """Write the snapshot sequence as one binary columnar file."""
+    columns = {name: [] for name in _COLUMNS}
+    payloads = []
+    for snapshot in snapshots:
+        columns["seq"].append(snapshot.seq)
+        columns["time_ms"].append(snapshot.time_ms)
+        columns["engine"].append(snapshot.engine)
+        columns["pages_written"].append(snapshot.pages_written)
+        columns["size_bytes"].append(snapshot.size_bytes)
+        columns["duration_us"].append(snapshot.duration_us)
+        columns["incremental"].append(snapshot.incremental)
+        if snapshot.is_delta:
+            columns["kind"].append("delta")
+            payloads.append(
+                (snapshot.born_ids.to_bytes(), snapshot.dead_ids.to_bytes())
+            )
+        else:
+            columns["kind"].append("full")
+            payloads.append((snapshot.live_object_ids.to_bytes(),))
+    header = json.dumps(
+        {
+            "schema": SNAPSHOTS_SCHEMA,
+            "count": len(payloads),
+            "columns": columns,
+        },
+        separators=(",", ":"),
+    ).encode()
+    with open(path, "wb") as handle:
+        handle.write(SNAPSHOTS_MAGIC)
+        handle.write(_LEN.pack(len(header)))
+        handle.write(header)
+        for column_group in payloads:
+            for payload in column_group:
+                handle.write(_LEN.pack(len(payload)))
+                handle.write(payload)
+
+
+def _read_column(blob: bytes, offset: int, path: str, field: str, seq) -> tuple:
+    """One length-prefixed id column; returns (IdSet, next offset)."""
+    if offset + _LEN.size > len(blob):
+        raise ProfileFormatError(
+            f"{path}: truncated {field!r} id column for snapshot seq {seq} "
+            f"({SNAPSHOTS_SCHEMA})"
+        )
+    (length,) = _LEN.unpack_from(blob, offset)
+    offset += _LEN.size
+    if offset + length > len(blob):
+        raise ProfileFormatError(
+            f"{path}: truncated {field!r} id column for snapshot seq {seq} "
+            f"({SNAPSHOTS_SCHEMA})"
+        )
+    try:
+        ids = IdSet.from_bytes(blob[offset : offset + length])
+    except ValueError as exc:
+        raise ProfileFormatError(
+            f"{path}: corrupt {field!r} id column for snapshot seq {seq}: {exc}"
+        ) from exc
+    return ids, offset + length
+
+
+def _load_header(blob: bytes, path: str) -> dict:
+    if len(blob) < len(SNAPSHOTS_MAGIC) + _LEN.size:
+        raise ProfileFormatError(
+            f"{path}: truncated snapshot store header (expected "
+            f"{SNAPSHOTS_SCHEMA})"
+        )
+    (header_len,) = _LEN.unpack_from(blob, len(SNAPSHOTS_MAGIC))
+    start = len(SNAPSHOTS_MAGIC) + _LEN.size
+    if start + header_len > len(blob):
+        raise ProfileFormatError(
+            f"{path}: truncated snapshot store header (expected "
+            f"{SNAPSHOTS_SCHEMA})"
+        )
+    try:
+        header = json.loads(blob[start : start + header_len])
+    except ValueError as exc:
+        raise ProfileFormatError(
+            f"{path}: corrupt snapshot store header: {exc}"
+        ) from exc
+    schema = header.get("schema") if isinstance(header, dict) else None
+    if schema != SNAPSHOTS_SCHEMA:
+        if isinstance(schema, str) and schema.startswith("polm2-snapshots-v"):
+            raise ProfileFormatError(
+                f"{path}: snapshot store schema {schema} is newer than the "
+                f"supported {SNAPSHOTS_SCHEMA}; upgrade repro to read it"
+            )
+        raise ProfileFormatError(
+            f"{path}: unknown snapshot store schema {schema!r} (expected "
+            f"{SNAPSHOTS_SCHEMA})"
+        )
+    count = header.get("count")
+    columns = header.get("columns")
+    if not isinstance(count, int) or count < 0 or not isinstance(columns, dict):
+        raise ProfileFormatError(
+            f"{path}: malformed snapshot store header ({SNAPSHOTS_SCHEMA})"
+        )
+    for name in _COLUMNS:
+        column = columns.get(name)
+        if not isinstance(column, list) or len(column) != count:
+            raise ProfileFormatError(
+                f"{path}: metadata column {name!r} missing or wrong length "
+                f"(expected {count} entries, {SNAPSHOTS_SCHEMA})"
+            )
+    header["_body_offset"] = start + header_len
+    return header
+
+
+def iter_binary(path: str) -> Iterator["Snapshot"]:
+    """Stream snapshots out of a binary store, chaining delta predecessors.
+
+    Metadata columns are decoded up front (they are tiny); id columns
+    are decoded one snapshot at a time, so — exactly like the JSON-lines
+    reader — the caller decides how many snapshots stay alive.
+    """
+    from repro.snapshot.snapshot import Snapshot
+
+    with open(path, "rb") as handle:
+        blob = handle.read()
+    header = _load_header(blob, path)
+    columns = header["columns"]
+    offset = header["_body_offset"]
+    previous: Optional[Snapshot] = None
+    for index in range(header["count"]):
+        seq = columns["seq"][index]
+        kind = columns["kind"][index]
+        common = dict(
+            seq=int(seq),
+            time_ms=float(columns["time_ms"][index]),
+            engine=columns["engine"][index],
+            pages_written=int(columns["pages_written"][index]),
+            size_bytes=int(columns["size_bytes"][index]),
+            duration_us=float(columns["duration_us"][index]),
+            incremental=bool(columns["incremental"][index]),
+        )
+        if kind == "delta":
+            born, offset = _read_column(blob, offset, path, "born_ids", seq)
+            dead, offset = _read_column(blob, offset, path, "dead_ids", seq)
+            snapshot = Snapshot(
+                born_ids=born, dead_ids=dead, predecessor=previous, **common
+            )
+        elif kind == "full":
+            live, offset = _read_column(
+                blob, offset, path, "live_object_ids", seq
+            )
+            snapshot = Snapshot(live_object_ids=live, **common)
+        else:
+            raise ProfileFormatError(
+                f"{path}: unknown snapshot kind {kind!r} for seq {seq} "
+                f"({SNAPSHOTS_SCHEMA})"
+            )
+        yield snapshot
+        previous = snapshot
+    if offset != len(blob):
+        raise ProfileFormatError(
+            f"{path}: {len(blob) - offset} trailing bytes after the last id "
+            f"column ({SNAPSHOTS_SCHEMA})"
+        )
+
+
+def is_binary_store(path: str) -> bool:
+    """True when ``path`` starts with the binary store magic."""
+    try:
+        with open(path, "rb") as handle:
+            return handle.read(len(SNAPSHOTS_MAGIC)) == SNAPSHOTS_MAGIC
+    except OSError:
+        return False

@@ -14,9 +14,10 @@ write time are what Figures 3/4 compare against ``jmap``.
 
 from __future__ import annotations
 
-from typing import FrozenSet, Iterable, Optional
+from typing import Iterable, Optional
 
 from repro.config import CostModel
+from repro.core.idset import IdSet
 from repro.heap.heap import SimHeap
 from repro.heap.objects import HeapObject
 from repro.snapshot.snapshot import Snapshot
@@ -39,7 +40,7 @@ class CRIUEngine:
         self.costs = costs
         self.delta_encode = delta_encode
         self._seq = 0
-        self._prev_live: Optional[FrozenSet[int]] = None
+        self._prev_live: Optional[IdSet] = None
         self._prev_snapshot: Optional[Snapshot] = None
 
     def checkpoint(
@@ -70,7 +71,9 @@ class CRIUEngine:
         # CRIU clears the dirty bits so the next checkpoint is a delta.
         heap.page_table.clear_dirty()
         self._seq += 1
-        live = frozenset(obj.object_id for obj in live_objects)
+        # The captured ids go straight into the compact kernel: identity
+        # hashes are monotonic, so the live set is runs + bitmap blocks.
+        live = IdSet(obj.object_id for obj in live_objects)
         common = dict(
             seq=self._seq,
             time_ms=time_ms,

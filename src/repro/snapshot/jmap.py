@@ -71,7 +71,7 @@ class JmapDumper:
             pages_written=0,
             size_bytes=size_bytes,
             duration_us=duration_us,
-            live_object_ids=frozenset(ids),
+            live_object_ids=ids,
             incremental=False,
         )
 

@@ -15,13 +15,27 @@ roughly the live/dirty ratio — the same economics that make the paper's
 incremental checkpoints viable.  ``SnapshotStore.save``/``load`` round-trip
 either representation, and loading a legacy full-format file keeps
 working unchanged.
+
+Id sets (``born_ids``/``dead_ids``/``live_object_ids``) are
+:class:`~repro.core.idset.IdSet` kernels, not frozensets: chunked
+sorted-run/bitmap containers whose set algebra runs as big-int bitwise
+passes.  On disk, two formats coexist: the default binary columnar store
+(``snapshots.bin``, schema ``polm2-snapshots-v2`` — see
+:mod:`repro.snapshot.binstore`) and the legacy JSON-lines file, which
+``iter_file`` still reads by sniffing the magic bytes.
 """
 
 from __future__ import annotations
 
 import json
 from collections.abc import Sequence
-from typing import Dict, FrozenSet, Iterator, List, Optional
+from typing import Dict, Iterator, List, Optional
+
+from repro.core.idset import EMPTY_IDSET, IdSet
+from repro.errors import ProfileFormatError
+
+#: On-disk snapshot formats ``SnapshotStore.save`` understands.
+SNAPSHOT_FORMATS = ("binary", "jsonl")
 
 
 class Snapshot:
@@ -68,10 +82,10 @@ class Snapshot:
         pages_written: int,
         size_bytes: int,
         duration_us: float,
-        live_object_ids: Optional[FrozenSet[int]] = None,
+        live_object_ids=None,
         incremental: bool = True,
-        born_ids: Optional[FrozenSet[int]] = None,
-        dead_ids: Optional[FrozenSet[int]] = None,
+        born_ids=None,
+        dead_ids=None,
         predecessor: Optional["Snapshot"] = None,
     ) -> None:
         self.seq = seq
@@ -85,11 +99,11 @@ class Snapshot:
             raise ValueError(
                 "Snapshot needs live_object_ids or born_ids + dead_ids"
             )
-        self.born_ids = None if born_ids is None else frozenset(born_ids)
-        self.dead_ids = None if dead_ids is None else frozenset(dead_ids)
+        self.born_ids = None if born_ids is None else IdSet.coerce(born_ids)
+        self.dead_ids = None if dead_ids is None else IdSet.coerce(dead_ids)
         self._predecessor = predecessor
         self._live_ids = (
-            None if live_object_ids is None else frozenset(live_object_ids)
+            None if live_object_ids is None else IdSet.coerce(live_object_ids)
         )
 
     # -- representation ------------------------------------------------------------
@@ -110,7 +124,7 @@ class Snapshot:
         return self._live_ids is not None
 
     @property
-    def live_object_ids(self) -> FrozenSet[int]:
+    def live_object_ids(self) -> IdSet:
         if self._live_ids is None:
             # Materialize iteratively (a long chain would blow the stack
             # if done recursively), caching every intermediate set so a
@@ -120,7 +134,7 @@ class Snapshot:
             while node is not None and node._live_ids is None:
                 chain.append(node)
                 node = node._predecessor
-            live = frozenset() if node is None else node._live_ids
+            live = EMPTY_IDSET if node is None else node._live_ids
             for snap in reversed(chain):
                 live = (live | snap.born_ids) - snap.dead_ids
                 snap._live_ids = live
@@ -179,10 +193,10 @@ class Snapshot:
             "incremental": self.incremental,
         }
         if self.is_delta:
-            payload["born_ids"] = sorted(self.born_ids)
-            payload["dead_ids"] = sorted(self.dead_ids)
+            payload["born_ids"] = self.born_ids.to_list()
+            payload["dead_ids"] = self.dead_ids.to_list()
         else:
-            payload["live_object_ids"] = sorted(self.live_object_ids)
+            payload["live_object_ids"] = self.live_object_ids.to_list()
         return payload
 
     def to_full_dict(self) -> Dict:
@@ -190,17 +204,25 @@ class Snapshot:
         payload = self.to_dict()
         payload.pop("born_ids", None)
         payload.pop("dead_ids", None)
-        payload["live_object_ids"] = sorted(self.live_object_ids)
+        payload["live_object_ids"] = self.live_object_ids.to_list()
         return payload
 
     @classmethod
     def from_dict(
-        cls, payload: Dict, predecessor: Optional["Snapshot"] = None
+        cls,
+        payload: Dict,
+        predecessor: Optional["Snapshot"] = None,
+        source: Optional[str] = None,
     ) -> "Snapshot":
         """Rebuild from either representation.
 
         ``predecessor`` anchors a delta payload; it is ignored for full
-        payloads (which are self-contained).
+        payloads (which are self-contained).  A delta payload missing
+        ``born_ids`` or ``dead_ids`` raises
+        :class:`~repro.errors.ProfileFormatError` naming the field (and
+        ``source``, typically the file path, when given) — silently
+        defaulting either to empty would corrupt every live-set
+        materialized downstream of it.
         """
         common = dict(
             seq=int(payload["seq"]),
@@ -213,11 +235,18 @@ class Snapshot:
         )
         if "live_object_ids" in payload:
             return cls(
-                live_object_ids=frozenset(payload["live_object_ids"]), **common
+                live_object_ids=payload["live_object_ids"], **common
             )
+        for field in ("born_ids", "dead_ids"):
+            if field not in payload:
+                where = source or "<snapshot payload>"
+                raise ProfileFormatError(
+                    f"{where}: delta snapshot payload (seq "
+                    f"{payload.get('seq', '?')}) is missing {field!r}"
+                )
         return cls(
-            born_ids=frozenset(payload.get("born_ids", ())),
-            dead_ids=frozenset(payload.get("dead_ids", ())),
+            born_ids=payload["born_ids"],
+            dead_ids=payload["dead_ids"],
             predecessor=predecessor,
             **common,
         )
@@ -310,39 +339,66 @@ class SnapshotStore:
     def total_duration_us(self) -> float:
         return sum(s.duration_us for s in self._snapshots)
 
-    # -- persistence (JSON lines, one snapshot per line) ---------------------------
+    # -- persistence: binary columnar (default) or legacy JSON lines ---------------
 
-    def save(self, path: str) -> None:
-        """Write one JSON object per line, in each snapshot's native
-        (delta or full) representation."""
+    def save(self, path: str, format: Optional[str] = None) -> None:
+        """Persist every snapshot in its native (delta or full) form.
+
+        ``format`` is ``"binary"`` (the default — the columnar
+        ``polm2-snapshots-v2`` layout of :mod:`repro.snapshot.binstore`)
+        or ``"jsonl"`` (the legacy one-JSON-object-per-line file).  When
+        omitted, a ``.jsonl`` path selects the legacy format so existing
+        callers writing ``snapshots.jsonl`` keep producing what the name
+        promises; every other path gets the binary store.
+        """
+        if format is None:
+            format = "jsonl" if path.endswith(".jsonl") else "binary"
+        if format not in SNAPSHOT_FORMATS:
+            raise ValueError(
+                f"unknown snapshot format {format!r} "
+                f"(expected one of {SNAPSHOT_FORMATS})"
+            )
+        if format == "binary":
+            from repro.snapshot import binstore
+
+            binstore.write_store(path, self._snapshots)
+            return
         with open(path, "w") as handle:
             for snapshot in self._snapshots:
                 handle.write(json.dumps(snapshot.to_dict()) + "\n")
 
     @classmethod
     def iter_file(cls, path: str) -> Iterator[Snapshot]:
-        """Stream snapshots from a JSON-lines file, one line at a time.
+        """Stream snapshots from either on-disk format, one at a time.
 
-        Unlike :meth:`load`, nothing here retains the whole sequence:
-        each delta line chains onto the previous snapshot (so lazy
-        live-set decoding still works) but the *caller* decides what
-        stays alive — the streaming analyzer keeps only the latest, so
-        replaying a recording never materializes every live set at once.
+        The format is sniffed from the file's magic bytes: binary
+        columnar stores decode through :mod:`repro.snapshot.binstore`,
+        anything else is read as legacy JSON lines.  Unlike
+        :meth:`load`, nothing here retains the whole sequence: each
+        delta chains onto the previous snapshot (so lazy live-set
+        decoding still works) but the *caller* decides what stays alive
+        — the streaming analyzer keeps only the latest, so replaying a
+        recording never materializes every live set at once.
         """
+        from repro.snapshot import binstore
+
+        if binstore.is_binary_store(path):
+            yield from binstore.iter_binary(path)
+            return
         previous: Optional[Snapshot] = None
         with open(path) as handle:
             for line in handle:
                 line = line.strip()
                 if line:
                     snapshot = Snapshot.from_dict(
-                        json.loads(line), predecessor=previous
+                        json.loads(line), predecessor=previous, source=path
                     )
                     yield snapshot
                     previous = snapshot
 
     @classmethod
     def load(cls, path: str) -> "SnapshotStore":
-        """Read either format; delta lines chain onto the previous line."""
+        """Read either format; deltas chain onto the previous snapshot."""
         store = cls()
         for snapshot in cls.iter_file(path):
             store.append(snapshot)

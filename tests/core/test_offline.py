@@ -52,10 +52,13 @@ class TestRecordAnalyze:
 
     def test_recording_directory_contents(self, recording):
         assert os.path.exists(os.path.join(recording, "traces.json"))
-        assert os.path.exists(os.path.join(recording, "snapshots.jsonl"))
+        # Recordings default to the binary columnar snapshot store.
+        assert os.path.exists(os.path.join(recording, "snapshots.bin"))
+        assert not os.path.exists(os.path.join(recording, "snapshots.jsonl"))
         with open(os.path.join(recording, "meta.json")) as handle:
             meta = json.load(handle)
         assert meta["workload"] == "cassandra-wi"
+        assert meta["snapshot_format"] == "binary"
         assert meta["allocations_recorded"] > 0
         assert meta["snapshots_taken"] > 0
 
@@ -89,8 +92,17 @@ class TestRecordingFormatErrors:
 
     @pytest.fixture(scope="class")
     def recording(self, tmp_path_factory):
+        # Recorded in the legacy jsonl format: the corruption tests below
+        # exercise the JSON-lines error paths (binary-store corruption is
+        # covered in tests/snapshot/test_binary_store.py).
         out = str(tmp_path_factory.mktemp("rec-err") / "cassandra-wi")
-        record_to_dir("cassandra-wi", out, duration_ms=4_000.0, seed=5)
+        record_to_dir(
+            "cassandra-wi",
+            out,
+            duration_ms=4_000.0,
+            seed=5,
+            snapshot_format="jsonl",
+        )
         return out
 
     def _copy(self, recording, tmp_path):

@@ -1,0 +1,109 @@
+"""jsonl <-> binary snapshot-store parity on the golden scenarios.
+
+Whatever the on-disk layout, a recording must analyze to the same
+profile: both formats are written from the same fixed-seed runs (the
+gc-loop parity scenarios), read back, and compared snapshot-for-snapshot
+and digest-for-digest through the streaming analyzer.
+"""
+
+import hashlib
+import json
+import os
+
+import pytest
+
+from repro.config import SimConfig
+from repro.core.dumper import Dumper
+from repro.core.recorder import Recorder
+from repro.core.stages import ProfileBuilder
+from repro.heap.objects import _reset_identity_hashes
+from repro.runtime.vm import VM
+from repro.snapshot.snapshot import SnapshotStore
+from repro.workloads import make_workload
+
+from tests.integration.parity_harness import SCENARIOS, _COLLECTORS
+
+# The two quick scenarios run per-test; the full matrix is covered by the
+# module-level round-trip below.
+_FAST = [s for s in SCENARIOS if s[4] <= 1500.0]
+
+
+def _record(workload_name, collector_name, use_remsets, seed, duration_ms):
+    _reset_identity_hashes()
+    config = SimConfig(
+        heap_bytes=16 * 1024 * 1024,
+        young_bytes=2 * 1024 * 1024,
+        seed=seed,
+        use_remembered_sets=use_remsets,
+    )
+    vm = VM(config, collector=_COLLECTORS[collector_name]())
+    recorder = Recorder(snapshot_every=1)
+    dumper = Dumper(vm)
+    recorder.attach(vm, dumper)
+    workload = make_workload(workload_name, seed=seed)
+    for model in workload.class_models():
+        vm.classloader.load(model)
+    workload.setup(vm)
+    while vm.clock.now_ms < duration_ms:
+        workload.tick()
+    workload.teardown()
+    return recorder, dumper
+
+
+def _digest_snapshots(snapshots):
+    payload = [
+        {
+            "seq": snap.seq,
+            "time_ms": snap.time_ms,
+            "engine": snap.engine,
+            "pages_written": snap.pages_written,
+            "size_bytes": snap.size_bytes,
+            "duration_us": snap.duration_us,
+            "incremental": snap.incremental,
+            "live": snap.live_object_ids.to_list(),
+        }
+        for snap in snapshots
+    ]
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode()).hexdigest()
+
+
+@pytest.mark.parametrize(
+    "scenario", SCENARIOS, ids=["-".join(map(str, s[:2])) for s in SCENARIOS]
+)
+def test_jsonl_binary_round_trip_identical(scenario, tmp_path):
+    _reset_identity_hashes()
+    _, dumper = _record(*scenario[:4], min(scenario[4], 900.0))
+    jsonl = str(tmp_path / "snapshots.jsonl")
+    binary = str(tmp_path / "snapshots.bin")
+    dumper.store.save(jsonl, format="jsonl")
+    dumper.store.save(binary, format="binary")
+    original = _digest_snapshots(dumper.store)
+    assert _digest_snapshots(SnapshotStore.load(jsonl)) == original
+    assert _digest_snapshots(SnapshotStore.load(binary)) == original
+
+
+@pytest.mark.parametrize(
+    "scenario", _FAST, ids=["-".join(map(str, s[:2])) for s in _FAST]
+)
+def test_profiles_identical_across_formats(scenario, tmp_path):
+    recorder, dumper = _record(*scenario[:4], min(scenario[4], 900.0))
+    digests = {}
+    for fmt, name in (("jsonl", "snapshots.jsonl"), ("binary", "snapshots.bin")):
+        path = str(tmp_path / name)
+        dumper.store.save(path, format=fmt)
+        builder = ProfileBuilder()
+        for snapshot in SnapshotStore.iter_file(path):
+            builder.feed_snapshot(snapshot)
+        builder.feed_trace_flush(recorder.records)
+        digests[fmt] = builder.analyzer.finish().digest()
+    assert digests["jsonl"] == digests["binary"]
+
+
+def test_binary_is_smaller_on_disk(tmp_path):
+    _, dumper = _record(*SCENARIOS[0][:4], 900.0)
+    jsonl = str(tmp_path / "snapshots.jsonl")
+    binary = str(tmp_path / "snapshots.bin")
+    dumper.store.save(jsonl, format="jsonl")
+    dumper.store.save(binary, format="binary")
+    assert os.path.getsize(binary) < os.path.getsize(jsonl)

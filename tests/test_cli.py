@@ -127,3 +127,84 @@ class TestRecordAnalyzeCommands:
 
         profile = AllocationProfile.load(out_path)
         assert profile.workload == "graphchi-pr"
+
+
+class TestSnapshotFormatOption:
+    def _record(self, tmp_path, *extra):
+        rec_dir = str(tmp_path / "rec")
+        code = main(
+            ["record", "lucene", "-o", rec_dir, "--duration-ms", "1000"]
+            + list(extra)
+        )
+        assert code == 0
+        return rec_dir
+
+    def test_default_is_binary_and_recorded_in_meta(self, tmp_path):
+        import json
+        import os
+
+        rec_dir = self._record(tmp_path)
+        assert os.path.exists(os.path.join(rec_dir, "snapshots.bin"))
+        assert not os.path.exists(os.path.join(rec_dir, "snapshots.jsonl"))
+        with open(os.path.join(rec_dir, "meta.json")) as handle:
+            assert json.load(handle)["snapshot_format"] == "binary"
+
+    def test_jsonl_flag_writes_legacy_file(self, tmp_path):
+        import json
+        import os
+
+        rec_dir = self._record(tmp_path, "--snapshot-format", "jsonl")
+        assert os.path.exists(os.path.join(rec_dir, "snapshots.jsonl"))
+        assert not os.path.exists(os.path.join(rec_dir, "snapshots.bin"))
+        with open(os.path.join(rec_dir, "meta.json")) as handle:
+            assert json.load(handle)["snapshot_format"] == "jsonl"
+        # Legacy recordings still analyze.
+        assert main(["analyze", rec_dir, "-o", str(tmp_path / "p.json")]) == 0
+
+    def test_env_override(self, tmp_path, monkeypatch):
+        import os
+
+        monkeypatch.setenv("REPRO_SNAPSHOT_FORMAT", "jsonl")
+        rec_dir = self._record(tmp_path)
+        assert os.path.exists(os.path.join(rec_dir, "snapshots.jsonl"))
+
+    def test_invalid_env_value_is_one_line_error(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_SNAPSHOT_FORMAT", "xml")
+        code = main(
+            ["record", "lucene", "-o", str(tmp_path / "rec"), "--duration-ms", "500"]
+        )
+        assert code == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error: ")
+        assert "REPRO_SNAPSHOT_FORMAT" in err
+
+    def test_flag_rejects_unknown_format(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["record", "lucene", "--snapshot-format", "xml"]
+            )
+
+    def test_profile_keep_recording(self, tmp_path):
+        import os
+
+        out_path = str(tmp_path / "p.json")
+        rec_dir = str(tmp_path / "rec")
+        code = main(
+            [
+                "profile",
+                "lucene",
+                "-o",
+                out_path,
+                "--duration-ms",
+                "1000",
+                "--keep-recording",
+                rec_dir,
+                "--snapshot-format",
+                "binary",
+            ]
+        )
+        assert code == 0
+        assert os.path.exists(os.path.join(rec_dir, "snapshots.bin"))
+        from repro import AllocationProfile
+
+        assert AllocationProfile.load(out_path).workload == "lucene"
