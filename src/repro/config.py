@@ -16,7 +16,40 @@ which keeps every experiment deterministic and host-independent.
 from __future__ import annotations
 
 import dataclasses
+import os
 from typing import Optional
+
+from repro.errors import ReproError
+
+
+def resolve_object_scale(explicit: Optional[int] = None) -> int:
+    """Resolve the scenario object-count multiplier.
+
+    An explicit value (the ``--object-scale`` CLI flag, a harness
+    argument) wins; otherwise ``$REPRO_OBJECT_SCALE`` applies; default 1.
+    Scaling multiplies heap/young sizes and run duration together, so a
+    run allocates ~scale× the objects while keeping the heap-pressure
+    ratios — and therefore the GC behaviour per byte — unchanged.
+    """
+    if explicit is None:
+        raw = os.environ.get("REPRO_OBJECT_SCALE", "").strip()
+        if not raw:
+            return 1
+        try:
+            explicit = int(raw)
+        except ValueError:
+            raise ReproError(
+                f"REPRO_OBJECT_SCALE must be an integer, got {raw!r}"
+            ) from None
+    try:
+        scale = int(explicit)
+    except (TypeError, ValueError):
+        raise ReproError(
+            f"object scale must be an integer, got {explicit!r}"
+        ) from None
+    if scale < 1:
+        raise ReproError(f"object scale must be >= 1, got {scale}")
+    return scale
 
 
 # --- fixed layout constants (not per-run tunables) -------------------------
@@ -204,6 +237,23 @@ class SimConfig:
         invalidates previously cached cells.
         """
         return dataclasses.asdict(self)
+
+    def scaled(self, factor: int) -> "SimConfig":
+        """This configuration with heap and young sizes ×``factor``.
+
+        Paired with a ×``factor`` run duration, the workload allocates
+        ~``factor``× the objects under identical pressure ratios — the
+        ``--object-scale`` knob used for columnar-kernel scaling runs.
+        """
+        if factor < 1:
+            raise ValueError(f"scale factor must be >= 1, got {factor}")
+        if factor == 1:
+            return self
+        return dataclasses.replace(
+            self,
+            heap_bytes=self.heap_bytes * factor,
+            young_bytes=self.young_bytes * factor,
+        )
 
     @classmethod
     def small(cls, **overrides) -> "SimConfig":

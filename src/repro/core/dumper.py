@@ -18,6 +18,7 @@ from repro.snapshot.criu import CRIUEngine
 from repro.snapshot.snapshot import Snapshot, SnapshotStore
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.idset import IdSet
     from repro.heap.objects import HeapObject
     from repro.runtime.vm import VM
 
@@ -56,19 +57,28 @@ class Dumper(VMAgent):
             )
 
     def on_snapshot_point(self, event: SnapshotPointEvent) -> None:
-        self.take_snapshot(event.live)
+        self.take_snapshot(event.live, live_ids=event.live_ids)
 
     def telemetry(self) -> Dict[str, int]:
         return {"snapshots_taken": self.snapshots_taken}
 
     # -- snapshotting ---------------------------------------------------------------
 
-    def take_snapshot(self, live_objects: Iterable["HeapObject"]) -> Snapshot:
-        """Checkpoint now; the application is stopped for the duration."""
+    def take_snapshot(
+        self,
+        live_objects: Iterable["HeapObject"],
+        live_ids: Optional["IdSet"] = None,
+    ) -> Snapshot:
+        """Checkpoint now; the application is stopped for the duration.
+
+        ``live_ids``, when provided (the snapshot-point path), is the
+        prebuilt :class:`IdSet` of ``live_objects``' ids, saving the
+        engine one per-object pass.
+        """
         if self.vm is None or self.engine is None:
             raise ReproError("Dumper is not attached to a VM")
         snapshot = self.engine.checkpoint(
-            self.vm.heap, live_objects, self.vm.clock.now_ms
+            self.vm.heap, live_objects, self.vm.clock.now_ms, live_ids=live_ids
         )
         self.vm.clock.advance_us(snapshot.duration_us)
         self.store.append(snapshot)

@@ -20,6 +20,7 @@ import os
 from array import array
 from typing import Dict, List, Optional, Tuple, TYPE_CHECKING
 
+from repro.core.idset import IdSet
 from repro.errors import ProfileFormatError
 from repro.runtime.code import AllocSite, ClassModel, CodeLocation
 from repro.runtime.events import (
@@ -285,10 +286,16 @@ class Recorder(VMAgent):
             # same safepoint then reuses it instead of tracing the heap a
             # second time.
             live = collector.trace_live()
+        # One compact live-id set serves the whole snapshot point: the
+        # no-need sweep's columnar region kernels and the CRIU engine's
+        # logical content both consume it (identity hashes are monotonic,
+        # so the set is runs + bitmap blocks).
+        live_ids = IdSet(obj.object_id for obj in live)
         if self.mark_no_need:
             # §4.1: before signalling the Dumper, traverse the heap and set
             # the no-need bit on every page with no live objects (madvise).
-            vm.heap.mark_unused_pages_no_need(live)
+            vm.heap.mark_unused_pages_no_need(live, live_ids=live_ids)
         vm.events.publish(
-            SNAPSHOT_POINT, SnapshotPointEvent(pause=pause, live=live)
+            SNAPSHOT_POINT,
+            SnapshotPointEvent(pause=pause, live=live, live_ids=live_ids),
         )

@@ -3,8 +3,9 @@
 from __future__ import annotations
 
 import abc
-from typing import Callable, Dict, List, Optional, Set, TYPE_CHECKING
+from typing import Callable, Dict, List, Optional, TYPE_CHECKING
 
+from repro.core.idset import IdSet
 from repro.errors import GCError
 from repro.gc.events import GCPause, PauseLog
 from repro.heap.objects import HeapObject
@@ -192,8 +193,16 @@ class GenerationalCollector(abc.ABC):
         return self.trace_live()
 
     @staticmethod
-    def live_id_set(live: List[HeapObject]) -> Set[int]:
-        return {obj.object_id for obj in live}
+    def live_id_set(live: List[HeapObject]) -> IdSet:
+        """The ids of ``live`` as an :class:`IdSet`.
+
+        Columnar heap kernels (:meth:`repro.heap.region.Region.live_runs`)
+        answer IdSet membership for whole id-column windows at once via
+        :meth:`IdSet.extract_mask`, so an IdSet live test keeps evacuation
+        on the vectorized path where a plain ``set`` would fall back to
+        per-element probes.
+        """
+        return IdSet(obj.object_id for obj in live)
 
     def record_pause(
         self, kind: str, duration_us: float, stats: Optional[Dict[str, int]] = None

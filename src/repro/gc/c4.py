@@ -24,6 +24,7 @@ from typing import List
 from repro.config import YOUNG_GEN
 from repro.gc.base import GenerationalCollector
 from repro.gc.events import CONCURRENT
+from repro.heap.evacuation import FixedDestination
 from repro.heap.region import Region
 
 
@@ -118,7 +119,7 @@ class C4Collector(GenerationalCollector):
         compacted = 0
         if compact_regions:
             compacted, _, _ = heap.evacuate(
-                compact_regions, epoch, gen, lambda obj: gen
+                compact_regions, epoch, gen, FixedDestination(gen)
             )
         pause_ms = self._rng.uniform(self.MIN_PAUSE_MS, self.MAX_PAUSE_MS)
         self.record_pause(

@@ -20,7 +20,7 @@ from repro.config import YOUNG_GEN
 from repro.gc import costmodel
 from repro.gc.base import GenerationalCollector
 from repro.gc.events import FULL, MIXED, YOUNG
-from repro.heap.objects import HeapObject
+from repro.heap.evacuation import FixedDestination, SurvivorTenuring
 from repro.heap.region import Region
 
 
@@ -128,15 +128,10 @@ class G1Collector(GenerationalCollector):
         # live set, so no id set is materialized.
         epoch = self.last_mark_epoch
         regions: List[Region] = list(young.regions)
-        threshold = vm.config.tenure_threshold
-
-        def destination(obj: HeapObject):
-            obj.age += 1
-            return old if obj.age >= threshold else young
-
-        survivor, promoted, scanned = heap.evacuate(
-            regions, epoch, young, destination
-        )
+        # Survivor aging and the tenuring-threshold compare run as lane
+        # arithmetic over the age column; eden regions stay one young run.
+        plan = SurvivorTenuring(young, old, vm.config.tenure_threshold)
+        survivor, promoted, scanned = heap.evacuate(regions, epoch, young, plan)
         heap.reclaim_dead_humongous(
             epoch, only_young=self.last_trace_was_partial
         )
@@ -184,7 +179,7 @@ class G1Collector(GenerationalCollector):
         chosen = candidates[: self.MAX_MIXED_REGIONS]
 
         compacted, _, scanned = heap.evacuate(
-            chosen, epoch, old, lambda obj: old
+            chosen, epoch, old, FixedDestination(old)
         )
         duration = costmodel.mixed_pause_us(vm.config.costs, scanned, compacted)
         self.record_pause(
@@ -207,10 +202,11 @@ class G1Collector(GenerationalCollector):
         epoch = self.last_mark_epoch
         moved = 0
         scanned = 0
+        everything_old = FixedDestination(old)
         for gen in (young, old):
             regions = list(gen.regions)
             copied, promoted, seen = heap.evacuate(
-                regions, epoch, gen, lambda obj: old
+                regions, epoch, gen, everything_old
             )
             moved += copied + promoted
             scanned += seen

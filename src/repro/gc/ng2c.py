@@ -27,6 +27,7 @@ from repro.errors import UnknownGenerationError
 from repro.gc import costmodel
 from repro.gc.base import GenerationalCollector
 from repro.gc.events import FULL, GEN, YOUNG
+from repro.heap.evacuation import FixedDestination, SurvivorTenuring
 from repro.heap.objects import HeapObject
 from repro.heap.region import Region
 
@@ -169,15 +170,10 @@ class NG2CCollector(GenerationalCollector):
         # live set, so no id set is materialized.
         epoch = self.last_mark_epoch
         regions = list(young.regions)
-        threshold = vm.config.tenure_threshold
-
-        def destination(obj: HeapObject):
-            obj.age += 1
-            return old if obj.age >= threshold else young
-
-        survivor, promoted, scanned = heap.evacuate(
-            regions, epoch, young, destination
-        )
+        # Survivor aging and the tenuring-threshold compare run as lane
+        # arithmetic over the age column; eden regions stay one young run.
+        plan = SurvivorTenuring(young, old, vm.config.tenure_threshold)
+        survivor, promoted, scanned = heap.evacuate(regions, epoch, young, plan)
         heap.reclaim_dead_humongous(
             epoch, only_young=self.last_trace_was_partial
         )
@@ -251,7 +247,7 @@ class NG2CCollector(GenerationalCollector):
                 freed_wholesale += 1
             if compact_regions:
                 moved, _, seen = heap.evacuate(
-                    compact_regions, live_test, gen, lambda obj, g=gen: g
+                    compact_regions, live_test, gen, FixedDestination(gen)
                 )
                 compacted += moved
                 scanned += seen
@@ -296,7 +292,7 @@ class NG2CCollector(GenerationalCollector):
             gen = heap.generation(gen_id)
             regions = list(gen.regions)
             copied, promoted, seen = heap.evacuate(
-                regions, epoch, gen, lambda obj, g=gen: g
+                regions, epoch, gen, FixedDestination(gen)
             )
             moved += copied + promoted
             scanned += seen

@@ -5,7 +5,9 @@ from __future__ import annotations
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.config import PAGE_SIZE, REGION_SIZE, YOUNG_GEN, SimConfig
+from repro.core.idset import IdSet
 from repro.errors import OutOfMemoryError, UnknownGenerationError
+from repro.heap.evacuation import EvacuationPlan
 from repro.heap.objects import HeapObject
 from repro.heap.page import PageTable
 from repro.heap.region import Region
@@ -142,9 +144,17 @@ class SimHeap:
         hands over an already-emptied region.
         """
         if region.objects:
-            untrack = self.page_table.untrack_object
-            for obj in region.objects:
-                untrack(obj.address, obj.size)
+            # One bulk occupancy pass over the offset column (the last
+            # object's end covers humongous spans that exceed region.top).
+            count = len(region.objects)
+            self.page_table.adjust_occupancy_run(
+                region.base,
+                region._offsets,
+                0,
+                count,
+                region._offsets[count - 1] + region._sizes[count - 1],
+                -1,
+            )
         region.reset()
         self._free_regions.append(region)
 
@@ -235,9 +245,9 @@ class SimHeap:
             self._free_regions.remove(region)
             region.gen_id = gen_id
             region.top = region.size  # fully claimed by the object
-        run[0].objects.append(obj)
         obj.address = run[0].base
         obj.gen_id = gen_id
+        run[0].adopt_humongous(obj)
         self._humongous[obj.object_id] = run
         committed = self.committed_bytes
         if committed > self.peak_committed_bytes:
@@ -405,17 +415,91 @@ class SimHeap:
 
         Args:
             regions: collection-set regions (must belong to ``source_gen``).
-            live: either a ``Set[int]`` of reachable object ids or an
-                ``int`` mark epoch from the collector's latest trace (an
-                object survives iff ``obj.mark_epoch`` equals it).
+            live: an ``int`` mark epoch from the collector's latest trace
+                (an object survives iff ``obj.mark_epoch`` equals it), an
+                :class:`~repro.core.idset.IdSet`, or a ``Set[int]`` of
+                reachable object ids.
             source_gen: generation owning the regions.
-            destination_for: callable ``obj -> Generation`` choosing where
-                each survivor is copied (tenuring policy).
+            destination_for: an :class:`~repro.heap.evacuation.EvacuationPlan`
+                (the vectorized path every shipped collector uses) or a
+                legacy per-object callable ``obj -> Generation``.
 
         Returns:
             ``(survivor_bytes, promoted_bytes, scanned_objects)`` where
             promoted bytes are those copied into a *different* generation.
         """
+        if isinstance(destination_for, EvacuationPlan):
+            return self._evacuate_columnar(
+                regions, live, source_gen, destination_for
+            )
+        return self._evacuate_objects(regions, live, source_gen, destination_for)
+
+    def _evacuate_columnar(
+        self,
+        regions: Sequence[Region],
+        live,
+        source_gen: Generation,
+        plan: EvacuationPlan,
+    ) -> Tuple[int, int, int]:
+        """Run-at-a-time evacuation over the region columns.
+
+        Per source region: one bulk occupancy subtraction, one columnar
+        mark pass collapsing liveness into position runs, a plan split
+        into maximal same-destination sub-runs (lane-arithmetic aging for
+        tenuring plans), and a column-slice copy per placed chunk.  The
+        observable results — addresses, page bits, occupancy counters,
+        remembered-set insertions, byte accounting — are identical to the
+        historical per-object loop, object for object.
+        """
+        survivor_bytes = 0
+        promoted_bytes = 0
+        scanned = 0
+        page_table = self.page_table
+        sync_ages = plan.sync_ages
+        remset = self.old_to_young_remset
+        for region in regions:
+            source_gen.release_region(region)
+        for region in regions:
+            count = len(region.objects)
+            scanned += count
+            if count == 0:
+                self.free_region(region)
+                continue
+            # Every scanned copy disappears (survivors move, the rest die):
+            # one bulk occupancy pass replaces per-object untracking.
+            page_table.adjust_occupancy_run(
+                region.base, region._offsets, 0, count, region.top, -1
+            )
+            source_gen_id = region.gen_id
+            for start, stop, dest in plan.split(region, region.live_runs(live)):
+                placed = dest.place_slice(
+                    page_table, region, start, stop, sync_ages=sync_ages
+                )
+                dest_gen_id = dest.gen_id
+                if dest_gen_id != source_gen_id:
+                    promoted_bytes += placed
+                else:
+                    survivor_bytes += placed
+                if dest_gen_id != YOUNG_GEN:
+                    for obj in region.objects[start:stop]:
+                        for child in obj._refs:
+                            if child.gen_id == YOUNG_GEN:
+                                # Promotion created an old->young edge.
+                                remset[obj.object_id] = obj
+                                break
+            # Occupancy already handed over; don't untrack again on free.
+            region.wipe_contents()
+            self.free_region(region)
+        return survivor_bytes, promoted_bytes, scanned
+
+    def _evacuate_objects(
+        self,
+        regions: Sequence[Region],
+        live,
+        source_gen: Generation,
+        destination_for,
+    ) -> Tuple[int, int, int]:
+        """Legacy per-object evacuation (callable destination policies)."""
         use_epoch = isinstance(live, int)
         survivor_bytes = 0
         promoted_bytes = 0
@@ -448,7 +532,7 @@ class SimHeap:
                     # Promotion created an old->young edge.
                     self.old_to_young_remset[obj.object_id] = obj
             # Occupancy already handed over; don't untrack again on free.
-            region.objects.clear()
+            region.wipe_contents()
             self.free_region(region)
         return survivor_bytes, promoted_bytes, scanned
 
@@ -523,6 +607,11 @@ class SimHeap:
                         f"expected {cursor:#x}"
                     )
                     cursor += obj.size
+                self._verify_region_columns(region)
+        for region in self._free_regions:
+            assert not region.objects and len(region._ids) == 0, (
+                f"free region {region.index} still holds column data"
+            )
         # The incrementally maintained page occupancy counters must agree
         # with a from-scratch recount of every object present in the heap
         # (live or dead — occupancy is presence, not reachability).
@@ -545,9 +634,57 @@ class SimHeap:
             )
         )
 
+    def _verify_region_columns(self, region: Region) -> None:
+        """Columns and views must describe the same objects slot for slot."""
+        count = len(region.objects)
+        for column in (
+            region._ids,
+            region._sizes,
+            region._sites,
+            region._offsets,
+            region._ages,
+        ):
+            assert len(column) == count, (
+                f"region {region.index}: column length {len(column)} != "
+                f"{count} objects"
+            )
+        ids = region._ids
+        expected_breaks = [
+            slot
+            for slot in range(1, count)
+            if ids[slot] != ids[slot - 1] + 1
+        ]
+        assert list(region._id_breaks) == expected_breaks, (
+            f"region {region.index}: id-break index "
+            f"{list(region._id_breaks)} != recomputed {expected_breaks}"
+        )
+        base = region.base
+        gen_id = region.gen_id
+        for slot, obj in enumerate(region.objects):
+            assert obj._region is region and obj._slot == slot, (
+                f"object {obj.object_id} view points at "
+                f"({obj._region and obj._region.index}, {obj._slot}), "
+                f"expected ({region.index}, {slot})"
+            )
+            assert (
+                region._ids[slot] == obj.object_id
+                and region._sizes[slot] == obj.size
+                and region._sites[slot] == obj.site_id
+                and region._ages[slot] == obj.age
+                and base + region._offsets[slot] == obj.address
+            ), f"region {region.index} slot {slot}: column/view mismatch"
+            assert obj.gen_id == gen_id, (
+                f"object {obj.object_id} tagged gen {obj.gen_id} inside "
+                f"a gen-{gen_id} region"
+            )
+
     # -- page advice (paper §3.2 / §4.2) --------------------------------------------
 
-    def mark_unused_pages_no_need(self, live_objects: Iterable[HeapObject]) -> int:
+    def mark_unused_pages_no_need(
+        self,
+        live_objects: Iterable[HeapObject],
+        live_ids: Optional[IdSet] = None,
+    ) -> int:
         """Set the no-need bit on every page holding no live object.
 
         This models the NG2C modification that POLM2's Recorder invokes
@@ -560,22 +697,41 @@ class SimHeap:
         nothing reachable.  Note liveness here is *reachability*, not page
         occupancy — a page can be fully occupied by dead-but-not-yet
         -reclaimed objects and still be advised away — so the sweep takes
-        the live list, not the occupancy counters.  It builds a per-page
-        "needed" byte map with slice stores and applies it in bulk
-        (:meth:`repro.heap.page.PageTable.rewrite_no_need`), replacing the
-        historical per-page Python loop over a set of spans.
+        the live set, not the occupancy counters.
+
+        The sweep rides the columnar kernels: per region, one
+        :meth:`Region.live_runs` pass, then one page-span slice store per
+        *run* of live objects (objects tile contiguously, so a run's page
+        span is the union of its objects' spans).  Humongous objects are
+        handled off the ``_humongous`` index.  Callers that already hold
+        the live set as an :class:`IdSet` pass it via ``live_ids`` to
+        skip rebuilding it.
         """
         table = self.page_table
         needed = bytearray(table.num_pages)
         page_size = self.page_size
-        for obj in live_objects:
-            address = obj.address
-            if address < 0:
-                continue
-            first = address // page_size
-            last = (address + obj.size - 1) // page_size
-            if first == last:
-                needed[first] = 1
-            else:
+        if live_ids is None:
+            live_ids = IdSet(obj.object_id for obj in live_objects)
+        for gen in self.generations.values():
+            for region in gen.regions:
+                if not region.objects:
+                    continue
+                base = region.base
+                offsets = region._offsets
+                count = len(offsets)
+                top = region.top
+                for a, b in region.live_runs(live_ids):
+                    first = (base + offsets[a]) // page_size
+                    end = base + (top if b == count else offsets[b])
+                    last = (end - 1) // page_size
+                    if first == last:
+                        needed[first] = 1
+                    else:
+                        needed[first : last + 1] = b"\x01" * (last + 1 - first)
+        for object_id, run in self._humongous.items():
+            if object_id in live_ids:
+                obj = run[0].objects[0]
+                first = obj.address // page_size
+                last = (obj.address + obj.size - 1) // page_size
                 needed[first : last + 1] = b"\x01" * (last + 1 - first)
         return table.rewrite_no_need(needed)

@@ -44,6 +44,7 @@ from typing import Callable, Dict, List, Optional, Sequence, TYPE_CHECKING
 from repro.errors import ReproError
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.idset import IdSet
     from repro.gc.events import GCPause
     from repro.heap.objects import HeapObject
     from repro.runtime.code import ClassModel
@@ -101,10 +102,17 @@ class GCEndEvent:
 
 @dataclasses.dataclass(frozen=True)
 class SnapshotPointEvent:
-    """The cycle ends with a checkpoint; ``live`` is the full live set."""
+    """The cycle ends with a checkpoint; ``live`` is the full live set.
+
+    ``live_ids`` optionally carries the same set as a prebuilt
+    :class:`~repro.core.idset.IdSet` so downstream consumers (no-need
+    marking, the CRIU engine) share one compact-kernel build instead of
+    each re-deriving it from the object list.
+    """
 
     pause: "GCPause"
     live: Sequence["HeapObject"]
+    live_ids: Optional["IdSet"] = None
 
 
 class EventBus:

@@ -48,6 +48,7 @@ class CRIUEngine:
         heap: SimHeap,
         live_objects: Iterable[HeapObject],
         time_ms: float,
+        live_ids: Optional[IdSet] = None,
     ) -> Snapshot:
         """Create one incremental snapshot.
 
@@ -59,6 +60,9 @@ class CRIUEngine:
                 Recorder) is responsible for having already marked unused
                 pages no-need.
             time_ms: virtual time of the checkpoint.
+            live_ids: optional prebuilt :class:`IdSet` of the same ids;
+                the snapshot-point path builds it once and shares it with
+                the no-need sweep instead of re-deriving it here.
         """
         # Only the count matters for image size/time; counting flag bytes
         # is one C pass, no page-index list is materialized.
@@ -73,7 +77,11 @@ class CRIUEngine:
         self._seq += 1
         # The captured ids go straight into the compact kernel: identity
         # hashes are monotonic, so the live set is runs + bitmap blocks.
-        live = IdSet(obj.object_id for obj in live_objects)
+        live = (
+            live_ids
+            if live_ids is not None
+            else IdSet(obj.object_id for obj in live_objects)
+        )
         common = dict(
             seq=self._seq,
             time_ms=time_ms,

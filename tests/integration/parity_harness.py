@@ -21,9 +21,10 @@ from __future__ import annotations
 
 import hashlib
 import json
-from typing import Dict, List
+from typing import Dict, List, Optional
 
-from repro.config import SimConfig
+from repro.config import SimConfig, resolve_object_scale
+from repro.core.analyzer import Analyzer
 from repro.core.dumper import Dumper
 from repro.core.recorder import Recorder
 from repro.gc.c4 import C4Collector
@@ -63,14 +64,17 @@ def run_scenario(
     use_remsets: bool,
     seed: int,
     duration_ms: float,
+    object_scale: Optional[int] = None,
 ) -> Dict:
     """Run one profiling-phase scenario and return its canonical digest."""
     _reset_identity_hashes()
+    scale = resolve_object_scale(object_scale)
+    duration_ms *= scale
     # A reduced heap keeps runs quick while forcing frequent collections,
     # so every trace/evacuate/no-need path gets exercised.
     config = SimConfig(
-        heap_bytes=16 * 1024 * 1024,
-        young_bytes=2 * 1024 * 1024,
+        heap_bytes=16 * 1024 * 1024 * scale,
+        young_bytes=2 * 1024 * 1024 * scale,
         seed=seed,
         use_remembered_sets=use_remsets,
     )
@@ -116,6 +120,9 @@ def run_scenario(
         }
         for snap in dumper.store
     ]
+    # The analysis stage must also be invariant: the STTree built from the
+    # recording is reduced to its content hash (schema-versioned IR).
+    sttree = Analyzer(records, list(dumper.store)).build_sttree()
     return {
         "scenario": {
             "workload": workload_name,
@@ -124,6 +131,7 @@ def run_scenario(
             "seed": seed,
             "duration_ms": duration_ms,
         },
+        "sttree": {"content_hash": sttree.digest()},
         "records": {
             "trace_count": records.trace_count,
             "total_allocations": records.total_allocations,

@@ -1,0 +1,59 @@
+"""STTree content-hash parity for the columnar heap storage.
+
+The golden hashes were generated from the per-object (pre-columnar) heap
+implementation.  Every scenario's recording must analyze to a
+byte-identical STTree IR under struct-of-arrays region storage — the
+whole profiling pipeline (allocation streams, snapshots, survival
+estimation, conflict resolution) reduced to one hash per scenario.
+
+Regenerate (only when *intentionally* changing simulation semantics) with:
+
+    REPRO_REGEN_GOLDEN=1 PYTHONPATH=src python -m pytest \
+        tests/integration/test_sttree_parity.py -q
+"""
+
+import json
+import os
+
+import pytest
+
+from tests.integration.parity_harness import SCENARIOS, run_scenario
+
+GOLDEN_PATH = os.path.join(
+    os.path.dirname(__file__), "golden_sttree_hashes.json"
+)
+
+
+def _load_golden():
+    with open(GOLDEN_PATH) as handle:
+        return json.load(handle)
+
+
+@pytest.mark.parametrize(
+    "scenario", SCENARIOS, ids=["-".join(map(str, s[:2])) for s in SCENARIOS]
+)
+def test_sttree_hash_matches_golden(scenario):
+    if os.environ.get("REPRO_REGEN_GOLDEN"):
+        pytest.skip("regenerating goldens in the writer test")
+    golden = _load_golden()
+    key = "-".join(map(str, scenario))
+    assert key in golden, f"no golden STTree hash recorded for {key}"
+    digest = run_scenario(*scenario)
+    assert digest["sttree"]["content_hash"] == golden[key], (
+        "STTree content drift"
+    )
+
+
+def test_regenerate_goldens():
+    """Writer: only active under REPRO_REGEN_GOLDEN=1."""
+    if not os.environ.get("REPRO_REGEN_GOLDEN"):
+        pytest.skip("set REPRO_REGEN_GOLDEN=1 to rewrite the golden file")
+    golden = {
+        "-".join(map(str, scenario)): run_scenario(*scenario)["sttree"][
+            "content_hash"
+        ]
+        for scenario in SCENARIOS
+    }
+    with open(GOLDEN_PATH, "w") as handle:
+        json.dump(golden, handle, indent=2, sort_keys=True)
+        handle.write("\n")
