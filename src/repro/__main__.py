@@ -12,6 +12,9 @@ Commands:
 * ``run <workload> [--profile profile.json] [--strategy ...]`` — run the
   production phase (or a baseline) and print the pause report.
 * ``evaluate`` — regenerate every table and figure of the paper's §5.
+* ``matrix`` — run a fleet-scale (workload × strategy × seed ×
+  heap-config) sweep through the sharded work-stealing scheduler, with
+  live progress and pooled multi-seed percentiles.
 * ``workloads`` — list available workloads.
 """
 
@@ -157,6 +160,79 @@ def cmd_evaluate(args) -> int:
     return 0
 
 
+def cmd_matrix(args) -> int:
+    from repro.experiments.matrix import (
+        HEAP_CONFIGS,
+        parse_seeds,
+        pooled_pause_percentiles,
+    )
+    from repro.metrics.percentiles import PAPER_PERCENTILES
+
+    def split(raw: str, universe, what: str) -> tuple:
+        if raw == "all":
+            return tuple(universe)
+        names = tuple(name.strip() for name in raw.split(",") if name.strip())
+        for name in names:
+            if name not in universe:
+                known = ", ".join(universe)
+                raise ReproError(f"unknown {what} {name!r} (known: {known})")
+        if not names:
+            raise ReproError(f"no {what} named in {raw!r}")
+        return names
+
+    workloads = split(args.workloads, WORKLOAD_NAMES, "workload")
+    strategies = split(args.strategies, strategy_names(), "strategy")
+    heap_configs = split(args.heap_configs, tuple(HEAP_CONFIGS), "heap config")
+    seeds_raw = args.seeds or os.environ.get("REPRO_SEEDS") or None
+    settings = ExperimentSettings(
+        profiling_ms=args.profiling_ms,
+        production_ms=args.duration_ms,
+        seeds=parse_seeds(seeds_raw) if seeds_raw else None,
+        jobs=args.jobs,
+        cache_dir=None if args.no_cache else args.cache_dir,
+        cache_backend=None if args.no_cache else args.cache_backend,
+    )
+    runner = ExperimentRunner(settings)
+    computed = cached = 0
+    cells: dict = {}
+    last = None
+    for item in runner.sweep(
+        workloads=workloads,
+        strategies=strategies,
+        heap_configs=heap_configs,
+        mode=args.mode,
+    ):
+        last = item.progress
+        cached += item.cached
+        computed += not item.cached
+        if not item.key.is_profiling:
+            cells[item.key] = item.result
+        if not args.no_progress:
+            print(
+                f"[{item.progress.done}/{item.progress.total}] "
+                f"{item.key.cell_id:<48} "
+                f"{item.progress.cells_per_sec:>7.2f} cells/s  "
+                f"ETA {item.progress.eta_s:>5.0f}s"
+                f"{'  (cached)' if item.cached else ''}"
+            )
+    if last is not None:
+        print(
+            f"{last.done} cells ({cached} cached, {computed} computed) "
+            f"in {last.elapsed_s:.1f}s — {last.cells_per_sec:.2f} cells/s"
+        )
+    headers = [f"P{pct:g}" for pct in PAPER_PERCENTILES] + ["max"]
+    for workload, series in pooled_pause_percentiles(cells).items():
+        print(f"\n--- {workload}: pooled pause percentiles (ms) ---")
+        print("          " + " ".join(f"{h:>9}" for h in headers))
+        for name, pooled in series.items():
+            print(
+                f"{name:>9} "
+                + " ".join(f"{v:>9.2f}" for v in pooled.row)
+                + f"   [{pooled.support}]"
+            )
+    return 0
+
+
 def _add_object_scale_option(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--object-scale",
@@ -253,6 +329,71 @@ def build_parser() -> argparse.ArgumentParser:
         help="disable the on-disk result cache",
     )
     p_eval.set_defaults(func=cmd_evaluate)
+
+    from repro.experiments.matrix import HEAP_CONFIGS, SCHEDULER_MODES
+
+    p_matrix = sub.add_parser(
+        "matrix",
+        help="run a fleet-scale (workload × strategy × seed × heap) sweep",
+    )
+    p_matrix.add_argument(
+        "--workloads",
+        default="all",
+        help="comma-separated workload names, or 'all' (default)",
+    )
+    p_matrix.add_argument(
+        "--strategies",
+        default="g1,ng2c,polm2,c4",
+        help="comma-separated strategy names, or 'all' for the registry",
+    )
+    p_matrix.add_argument(
+        "--seeds",
+        default=None,
+        help="seeds to sweep: N, N-M (inclusive), or N,M,... "
+        "(default: $REPRO_SEEDS or the single default seed)",
+    )
+    p_matrix.add_argument(
+        "--heap-configs",
+        default="default",
+        help="comma-separated heap configs or 'all' "
+        f"(known: {', '.join(HEAP_CONFIGS)})",
+    )
+    p_matrix.add_argument(
+        "--jobs",
+        type=int,
+        default=int(os.environ.get("REPRO_JOBS", 1)),
+        help="worker processes (default: $REPRO_JOBS or 1)",
+    )
+    p_matrix.add_argument(
+        "--mode",
+        choices=SCHEDULER_MODES,
+        default="sharded",
+        help="scheduler: sharded work-stealing DAG (default), the legacy "
+        "wave barrier, or serial",
+    )
+    p_matrix.add_argument(
+        "--cache-backend",
+        default=os.environ.get("REPRO_CACHE_BACKEND") or None,
+        help="cache backend spec: dir:///PATH or sqlite:///PATH.db "
+        "(default: $REPRO_CACHE_BACKEND, else a dir cache at --cache-dir)",
+    )
+    p_matrix.add_argument(
+        "--cache-dir",
+        default=os.environ.get("REPRO_CACHE_DIR", ".repro_cache"),
+        help="dir-backend cache location (default: $REPRO_CACHE_DIR "
+        "or .repro_cache)",
+    )
+    p_matrix.add_argument(
+        "--no-cache", action="store_true", help="disable the result cache"
+    )
+    p_matrix.add_argument("--duration-ms", type=float, default=60_000.0)
+    p_matrix.add_argument("--profiling-ms", type=float, default=30_000.0)
+    p_matrix.add_argument(
+        "--no-progress",
+        action="store_true",
+        help="suppress per-cell progress lines",
+    )
+    p_matrix.set_defaults(func=cmd_matrix)
     return parser
 
 

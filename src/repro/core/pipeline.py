@@ -33,6 +33,7 @@ from repro.errors import ReproError
 from repro.gc.base import GenerationalCollector
 from repro.gc.events import GCPause
 from repro.gc.ng2c import NG2CCollector
+from repro.heap.objects import reset_identity_hashes
 from repro.runtime.vm import VM
 from repro.snapshot.snapshot import SnapshotStore
 from repro.strategies.agents import TelemetryAgent
@@ -250,6 +251,9 @@ class POLM2Pipeline:
                 f"strategy {spec.name!r} needs an allocation profile; "
                 "run a profiling phase first or pass a saved profile"
             )
+        # Fresh-process id state: a cell computed here is byte-identical
+        # to the same cell computed in a pool worker.
+        reset_identity_hashes()
         workload = self.workload_factory()
         collector = spec.collector_factory()
         vm = VM(self.config, collector=collector)
@@ -295,6 +299,7 @@ class POLM2Pipeline:
         ``keep_result`` (optional, a list) receives the profiling-run
         :class:`PhaseResult` — used by the snapshot experiments.
         """
+        reset_identity_hashes()
         workload = self.workload_factory()
         collector = NG2CCollector()
         vm = VM(self.config, collector=collector)

@@ -2,9 +2,34 @@
 
 All pause/throughput/memory figures share the same (workload × strategy)
 result matrix, computed once per process by
-:class:`repro.experiments.runner.ExperimentRunner` and cached.
+:class:`repro.experiments.runner.ExperimentRunner` and cached.  The
+fleet-scale sweep engine — sharded work-stealing scheduling over the
+(workload × strategy × seed × heap-config) space, streaming cell
+results, pluggable cache backends — lives in
+:mod:`repro.experiments.matrix`.
 """
 
+from repro.experiments.matrix import (
+    CacheBackend,
+    CellKey,
+    CellResult,
+    DirCacheBackend,
+    SqliteCacheBackend,
+    SweepSpec,
+    pooled_pause_percentiles,
+    run_sweep,
+)
 from repro.experiments.runner import ExperimentRunner, ExperimentSettings
 
-__all__ = ["ExperimentRunner", "ExperimentSettings"]
+__all__ = [
+    "CacheBackend",
+    "CellKey",
+    "CellResult",
+    "DirCacheBackend",
+    "ExperimentRunner",
+    "ExperimentSettings",
+    "SqliteCacheBackend",
+    "SweepSpec",
+    "pooled_pause_percentiles",
+    "run_sweep",
+]

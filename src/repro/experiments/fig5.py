@@ -11,7 +11,7 @@ where the hand annotations were misplaced).
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.experiments.runner import ExperimentRunner, default_runner
 from repro.metrics.percentiles import percentile_row
@@ -33,6 +33,9 @@ class Fig5Panel:
     workload: str
     #: strategy -> [P50, P90, P99, P99.9, P99.99, P99.999, max] (ms).
     series: Dict[str, List[float]]
+    #: strategy -> (seeds, pause samples) backing the series; pause
+    #: samples are pooled across every seed of the runner's settings.
+    support: Optional[Dict[str, Tuple[int, int]]] = None
 
     def worst(self, strategy: str) -> float:
         return self.series[strategy][-1]
@@ -47,11 +50,15 @@ class Fig5Panel:
 def run(runner: Optional[ExperimentRunner] = None) -> Dict[str, Fig5Panel]:
     runner = runner or default_runner()
     panels: Dict[str, Fig5Panel] = {}
+    seeds = len(runner.settings.seed_list)
     for workload in WORKLOAD_NAMES:
         durations = runner.pause_series(workload)
         panels[workload] = Fig5Panel(
             workload=workload,
             series={name: percentile_row(vals) for name, vals in durations.items()},
+            support={
+                name: (seeds, len(vals)) for name, vals in durations.items()
+            },
         )
     return panels
 
@@ -75,5 +82,13 @@ def render(panels: Dict[str, Fig5Panel]) -> str:
             f"worst-pause reduction vs G1: measured {reduction:.0%} "
             f"(paper: {paper:.0%})"
         )
+        if panel.support:
+            lines.append(
+                "support: "
+                + ", ".join(
+                    f"{name} n={samples} ({seeds} seed(s))"
+                    for name, (seeds, samples) in panel.support.items()
+                )
+            )
         parts.append("\n".join(lines))
     return "\n\n".join(parts)

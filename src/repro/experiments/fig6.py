@@ -10,7 +10,7 @@ every workload, not just at the tail.
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, Optional
+from typing import Dict, Optional, Tuple
 
 from repro.experiments.runner import ExperimentRunner, default_runner
 from repro.metrics.histogram import DEFAULT_EDGES_MS, PauseHistogram
@@ -21,6 +21,8 @@ from repro.workloads import WORKLOAD_NAMES
 class Fig6Panel:
     workload: str
     histograms: Dict[str, PauseHistogram]
+    #: strategy -> (seeds, pause samples) pooled into each histogram.
+    support: Optional[Dict[str, Tuple[int, int]]] = None
 
     def long_pauses(self, strategy: str, threshold_ms: float = 32.0) -> int:
         return self.histograms[strategy].long_pause_count(threshold_ms)
@@ -29,6 +31,7 @@ class Fig6Panel:
 def run(runner: Optional[ExperimentRunner] = None) -> Dict[str, Fig6Panel]:
     runner = runner or default_runner()
     panels: Dict[str, Fig6Panel] = {}
+    seeds = len(runner.settings.seed_list)
     for workload in WORKLOAD_NAMES:
         series = runner.pause_series(workload)
         panels[workload] = Fig6Panel(
@@ -36,6 +39,9 @@ def run(runner: Optional[ExperimentRunner] = None) -> Dict[str, Fig6Panel]:
             histograms={
                 name: PauseHistogram(DEFAULT_EDGES_MS).add_all(vals)
                 for name, vals in series.items()
+            },
+            support={
+                name: (seeds, len(vals)) for name, vals in series.items()
             },
         )
     return panels
@@ -50,6 +56,14 @@ def render(panels: Dict[str, Fig6Panel]) -> str:
         for name, hist in panel.histograms.items():
             lines.append(
                 f"{name:>5} " + " ".join(f"{c:>9d}" for c in hist.counts)
+            )
+        if panel.support:
+            lines.append(
+                "support: "
+                + ", ".join(
+                    f"{name} n={samples} ({seeds} seed(s))"
+                    for name, (seeds, samples) in panel.support.items()
+                )
             )
         parts.append("\n".join(lines))
     return "\n\n".join(parts)

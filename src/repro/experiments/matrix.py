@@ -1,0 +1,1017 @@
+"""Fleet-scale experiment matrix: sharded scheduling over a pluggable cache.
+
+The paper's evaluation is a (workload × strategy) grid; statistically
+honest tail-latency claims need a (workload × strategy × seed ×
+heap-config) *sweep* — hundreds of seeds, thousands of cells.  This
+module is the machinery that makes such a sweep practical:
+
+* :class:`CellKey` — one cell of the sweep space, addressable by a
+  stable string id that carries workload, strategy, seed, and named
+  heap configuration.
+* :class:`CacheBackend` — the keyed result store a sweep lands in.
+  :class:`DirCacheBackend` keeps the original one-JSON-file-per-cell
+  layout; :class:`SqliteCacheBackend` packs a whole sweep into a single
+  WAL-mode database file that several runner processes can share, so a
+  killed sweep resumes from exactly the cells already committed.
+* :func:`run_sweep` — a **sharded work-stealing scheduler** over the
+  sweep's per-cell dependency DAG.  Cells are sharded across worker
+  slots; a slot that drains its shard steals from the fullest one, so a
+  straggler cell never idles the rest of the fleet.  A POLM2 production
+  cell unblocks the moment *its* (workload, seed, heap) profiling cell
+  lands — there is no global profiling barrier (``mode="wave"`` keeps
+  the old barrier semantics for benchmarking the difference).  Results
+  **stream back incrementally** as :class:`CellResult` values with live
+  progress (cells done/total, cells/sec, ETA); nothing accumulates
+  behind an end-of-matrix barrier.
+* :func:`pooled_pause_percentiles` — multi-seed aggregation: pause
+  samples pooled across seeds with the seed/sample support counts kept
+  alongside, so every figure can say how much data backs its tail.
+
+Every cell is deterministic in (workload, strategy, seed, heap-config,
+durations) — virtual clock, fixed seed — so serial, sharded, and wave
+schedules produce byte-identical cells, and a cache hit is
+indistinguishable from a recompute.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import dataclasses
+import hashlib
+import json
+import os
+import sqlite3
+import time
+import uuid
+import warnings
+import zlib
+from collections import deque
+from typing import (
+    Callable,
+    Deque,
+    Dict,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from repro.config import SimConfig
+from repro.core.pipeline import POLM2Pipeline, PhaseResult
+from repro.core.profile import AllocationProfile
+from repro.errors import ReproError
+from repro.strategies import get_strategy
+from repro.workloads import make_workload
+
+#: Cache-format version; bump on incompatible PhaseResult layout changes.
+#: v4: cells carry seed + heap-config in their key (multi-seed sweeps);
+#: older formats live in unkeyed/other-keyed storage and are never read.
+CACHE_FORMAT = "matrix-cache-v4"
+
+#: The pseudo-strategy key the profiling phase is cached under.
+PROFILING_KEY = "polm2-profiling"
+
+#: Scheduler modes accepted by :func:`run_sweep`.
+SCHEDULER_MODES = ("sharded", "wave", "serial")
+
+#: Named heap configurations a sweep can range over.  Values are
+#: :class:`SimConfig` field overrides applied to the base config; the
+#: names ride in each cell's key, so two heap configs never collide in
+#: the cache.  The defaults model the paper's 64 MiB / 6 MiB shape;
+#: the variants stress the young:total ratio the paper holds fixed.
+HEAP_CONFIGS: Dict[str, Dict[str, int]] = {
+    "default": {},
+    "tight-young": {"young_bytes": 3 * 1024 * 1024},
+    "roomy-young": {"young_bytes": 12 * 1024 * 1024},
+    "big-heap": {
+        "heap_bytes": 128 * 1024 * 1024,
+        "young_bytes": 12 * 1024 * 1024,
+    },
+}
+
+
+def heap_config(name: str, base: Optional[SimConfig] = None) -> SimConfig:
+    """Resolve a named heap configuration against ``base``."""
+    try:
+        overrides = HEAP_CONFIGS[name]
+    except KeyError:
+        known = ", ".join(sorted(HEAP_CONFIGS))
+        raise ReproError(
+            f"unknown heap config {name!r} (known: {known})"
+        ) from None
+    config = base if base is not None else SimConfig()
+    if not overrides:
+        return config
+    return dataclasses.replace(config, **overrides)
+
+
+def parse_seeds(raw: str) -> Tuple[int, ...]:
+    """Parse a seed spec: ``"7"``, ``"0-7"`` (inclusive), or ``"1,3,5"``."""
+    seeds: List[int] = []
+    try:
+        for part in raw.split(","):
+            part = part.strip()
+            if not part:
+                continue
+            if "-" in part.lstrip("-")[0:]:  # allow negative singletons
+                lo_raw, _, hi_raw = part.partition("-")
+                if lo_raw and hi_raw:
+                    lo, hi = int(lo_raw), int(hi_raw)
+                    if hi < lo:
+                        raise ReproError(
+                            f"seed range {part!r} is empty (end < start)"
+                        )
+                    seeds.extend(range(lo, hi + 1))
+                    continue
+            seeds.append(int(part))
+    except ValueError:
+        raise ReproError(
+            f"unparseable seed spec {raw!r} (expected N, N-M, or N,M,...)"
+        ) from None
+    if not seeds:
+        raise ReproError(f"seed spec {raw!r} names no seeds")
+    # Preserve order, drop duplicates.
+    return tuple(dict.fromkeys(seeds))
+
+
+# -- cell identity ---------------------------------------------------------------
+
+
+@dataclasses.dataclass(frozen=True, order=True)
+class CellKey:
+    """One cell of the sweep space."""
+
+    workload: str
+    strategy: str
+    seed: int
+    heap: str = "default"
+
+    @property
+    def cell_id(self) -> str:
+        """Stable storage id: ``workload__strategy__s<seed>__heap``."""
+        return f"{self.workload}__{self.strategy}__s{self.seed}__{self.heap}"
+
+    @classmethod
+    def from_cell_id(cls, cell_id: str) -> "CellKey":
+        parts = cell_id.split("__")
+        if len(parts) != 4 or not parts[2].startswith("s"):
+            raise ReproError(f"malformed cell id {cell_id!r}")
+        try:
+            seed = int(parts[2][1:])
+        except ValueError:
+            raise ReproError(f"malformed cell id {cell_id!r}") from None
+        return cls(workload=parts[0], strategy=parts[1], seed=seed, heap=parts[3])
+
+    @property
+    def is_profiling(self) -> bool:
+        return self.strategy == PROFILING_KEY
+
+    def profiling_key(self) -> "CellKey":
+        """The profiling cell this cell's profile comes from."""
+        return dataclasses.replace(self, strategy=PROFILING_KEY)
+
+    def config(self) -> SimConfig:
+        """The fully resolved simulation config for this cell."""
+        return heap_config(self.heap, base=SimConfig(seed=self.seed))
+
+
+# -- code-version fingerprint ----------------------------------------------------
+
+_code_version_cache: Optional[str] = None
+
+
+def code_version() -> str:
+    """Content hash over every ``repro`` source file (cached per process).
+
+    Part of the result-cache key: editing any module invalidates every
+    cached cell, which is what makes the cache safe to leave on.
+    """
+    global _code_version_cache
+    if _code_version_cache is None:
+        import repro
+
+        digest = hashlib.sha256()
+        package_root = os.path.dirname(os.path.abspath(repro.__file__))
+        for dirpath, dirnames, filenames in sorted(os.walk(package_root)):
+            dirnames.sort()
+            for filename in sorted(filenames):
+                if not filename.endswith(".py"):
+                    continue
+                path = os.path.join(dirpath, filename)
+                digest.update(os.path.relpath(path, package_root).encode())
+                with open(path, "rb") as handle:
+                    digest.update(handle.read())
+        _code_version_cache = digest.hexdigest()
+    return _code_version_cache
+
+
+def sweep_cache_key(
+    config: SimConfig, profiling_ms: float, production_ms: float
+) -> str:
+    """The storage key shared by every cell of one sweep.
+
+    Hashes the cache format, the package code version, the *base*
+    simulation config (seed excluded — it rides in each cell's id, as
+    does the heap-config name), and the phase durations.  Anything that
+    could change a result changes the key; performance knobs never do.
+    """
+    fingerprint = config.fingerprint()
+    fingerprint.pop("seed", None)
+    payload = json.dumps(
+        {
+            "format": CACHE_FORMAT,
+            "code": code_version(),
+            "config": fingerprint,
+            "profiling_ms": profiling_ms,
+            "production_ms": production_ms,
+        },
+        sort_keys=True,
+    )
+    return hashlib.sha256(payload.encode()).hexdigest()[:20]
+
+
+# -- cache backends --------------------------------------------------------------
+
+
+class CacheBackend:
+    """Keyed store of :class:`PhaseResult` cells (the backend protocol).
+
+    Implementations provide :meth:`load` / :meth:`store` on
+    :class:`CellKey`; :meth:`flush` commits any buffered writes (the
+    scheduler calls it as each computed cell lands, so a killed sweep
+    resumes from every cell it streamed) and :meth:`close` releases
+    resources.  Corrupt cells are recoverable — warn once
+    naming the offending cell, return ``None``, recompute — while
+    permission problems raise :class:`~repro.errors.ReproError`:
+    recomputing around an unreadable store would silently fork the
+    sweep's storage.
+    """
+
+    def load(self, key: CellKey) -> Optional[PhaseResult]:
+        raise NotImplementedError
+
+    def store(self, key: CellKey, result: PhaseResult) -> None:
+        raise NotImplementedError
+
+    def cell_ids(self) -> List[str]:
+        raise NotImplementedError
+
+    def flush(self) -> None:
+        pass
+
+    def close(self) -> None:
+        pass
+
+    def __enter__(self) -> "CacheBackend":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    # -- shared corrupt-cell handling ------------------------------------------
+
+    def _init_warned(self) -> None:
+        self._warned: set = set()
+
+    def _warn_corrupt(self, where: str, why: str) -> None:
+        if where in self._warned:
+            return
+        self._warned.add(where)
+        warnings.warn(
+            f"cache cell {where} is corrupt ({why}); recomputing it",
+            stacklevel=4,
+        )
+
+    @staticmethod
+    def _decode(payload: Dict) -> Optional[PhaseResult]:
+        try:
+            return PhaseResult.from_dict(payload)
+        except (KeyError, TypeError, ValueError):
+            return None
+
+
+#: Name of the per-key-dir marker file recording the cache format.
+_FORMAT_MARKER = "FORMAT.json"
+
+
+class DirCacheBackend(CacheBackend):
+    """One JSON file per cell: ``<root>/<sweep-key>/<cell_id>.json``.
+
+    The default backend, unchanged layout from the original
+    ``MatrixCache`` apart from the cell ids now carrying seed and
+    heap-config.  Writes are atomic: each runner writes to a
+    per-process unique temp name (pid + random suffix) and
+    ``os.replace``\\ s it in, so two concurrent runners storing the same
+    cell can never clobber each other mid-rename — last writer wins
+    with an intact file either way.
+    """
+
+    def __init__(self, root: str, cache_key: str) -> None:
+        self.root = root
+        self.key = cache_key
+        self.dir = os.path.join(root, cache_key)
+        self._init_warned()
+        self._note_stale_formats()
+
+    def _path(self, key: CellKey) -> str:
+        return os.path.join(self.dir, f"{key.cell_id}.json")
+
+    def _tmp_path(self, path: str) -> str:
+        return f"{path}.{os.getpid()}.{uuid.uuid4().hex[:8]}.tmp"
+
+    def load(self, key: CellKey) -> Optional[PhaseResult]:
+        path = self._path(key)
+        try:
+            with open(path) as handle:
+                payload = json.load(handle)
+        except FileNotFoundError:
+            return None
+        except PermissionError as exc:
+            raise ReproError(f"cache cell {path} is unreadable: {exc}") from exc
+        except ValueError:
+            self._warn_corrupt(path, "unparseable JSON")
+            return None
+        except OSError:
+            self._warn_corrupt(path, "unreadable cell file")
+            return None
+        result = self._decode(payload)
+        if result is None:
+            self._warn_corrupt(path, "foreign or corrupt cell payload")
+        return result
+
+    def store(self, key: CellKey, result: PhaseResult) -> None:
+        os.makedirs(self.dir, exist_ok=True)
+        self._write_format_marker()
+        path = self._path(key)
+        tmp = self._tmp_path(path)
+        with open(tmp, "w") as handle:
+            json.dump(result.to_dict(), handle)
+        os.replace(tmp, path)
+
+    def cell_ids(self) -> List[str]:
+        try:
+            names = os.listdir(self.dir)
+        except OSError:
+            return []
+        return sorted(
+            name[: -len(".json")]
+            for name in names
+            if name.endswith(".json") and name != _FORMAT_MARKER
+        )
+
+    def _write_format_marker(self) -> None:
+        marker = os.path.join(self.dir, _FORMAT_MARKER)
+        if not os.path.exists(marker):
+            tmp = self._tmp_path(marker)
+            with open(tmp, "w") as handle:
+                json.dump({"format": CACHE_FORMAT}, handle)
+            os.replace(tmp, marker)
+
+    def _note_stale_formats(self) -> None:
+        """One-line note when the cache root holds pre-v4 key dirs.
+
+        Older formats hash to different sweep keys, so they are never
+        *read* — but silently leaving them to rot hides why a sweep
+        recomputes everything after an upgrade.
+        """
+        try:
+            entries = os.listdir(self.root)
+        except OSError:
+            return
+        stale = []
+        for name in entries:
+            subdir = os.path.join(self.root, name)
+            if name == self.key or not os.path.isdir(subdir):
+                continue
+            marker = os.path.join(subdir, _FORMAT_MARKER)
+            try:
+                with open(marker) as handle:
+                    fmt = json.load(handle).get("format", "unknown")
+            except (OSError, ValueError):
+                if not any(
+                    entry.endswith(".json") for entry in os.listdir(subdir)
+                ):
+                    continue
+                fmt = "pre-v4"
+            if fmt != CACHE_FORMAT:
+                stale.append(f"{name} ({fmt})")
+        if stale:
+            warnings.warn(
+                f"cache root {self.root} holds stale-format cell dirs "
+                f"[{', '.join(sorted(stale))}]; current format is "
+                f"{CACHE_FORMAT} — they are ignored and safe to delete"
+            )
+
+
+class SqliteCacheBackend(CacheBackend):
+    """A whole sweep in one WAL-mode sqlite file.
+
+    ``sqlite:///sweep.db`` puts every cell in a single shareable file:
+    WAL journaling plus a generous busy timeout make concurrent runner
+    processes on the same database safe (each commits small batches;
+    ``INSERT OR REPLACE`` keyed on (sweep key, cell id) makes duplicate
+    computation idempotent).  Writes are batched — buffered in memory
+    and committed one transaction per :meth:`flush` (the scheduler
+    flushes as each computed cell lands, so its durability unit is one
+    cell) or whenever the buffer reaches ``BATCH`` cells, whichever
+    comes first — bulk writers outside the scheduler still amortize
+    their commits.
+    """
+
+    BATCH = 32
+
+    def __init__(self, path: str, cache_key: str) -> None:
+        self.path = path
+        self.key = cache_key
+        self._pending: Dict[str, str] = {}
+        self._init_warned()
+        parent = os.path.dirname(os.path.abspath(path))
+        try:
+            os.makedirs(parent, exist_ok=True)
+            self._conn = sqlite3.connect(path, timeout=60.0)
+        except (sqlite3.OperationalError, OSError) as exc:
+            raise ReproError(
+                f"cannot open sqlite cache {path}: {exc}"
+            ) from exc
+        self._conn.execute("PRAGMA journal_mode=WAL")
+        self._conn.execute("PRAGMA synchronous=NORMAL")
+        with self._conn:
+            self._conn.execute(
+                "CREATE TABLE IF NOT EXISTS cells ("
+                " cache_key TEXT NOT NULL,"
+                " cell_id TEXT NOT NULL,"
+                " format TEXT NOT NULL,"
+                " payload TEXT NOT NULL,"
+                " PRIMARY KEY (cache_key, cell_id))"
+            )
+        self._note_stale_formats()
+
+    def load(self, key: CellKey) -> Optional[PhaseResult]:
+        raw = self._pending.get(key.cell_id)
+        if raw is None:
+            try:
+                row = self._conn.execute(
+                    "SELECT payload FROM cells"
+                    " WHERE cache_key = ? AND cell_id = ?",
+                    (self.key, key.cell_id),
+                ).fetchone()
+            except sqlite3.Error as exc:
+                raise ReproError(
+                    f"sqlite cache {self.path} is unreadable: {exc}"
+                ) from exc
+            if row is None:
+                return None
+            raw = row[0]
+        where = f"{self.path}:{key.cell_id}"
+        try:
+            payload = json.loads(raw)
+        except ValueError:
+            self._warn_corrupt(where, "unparseable JSON")
+            return None
+        result = self._decode(payload)
+        if result is None:
+            self._warn_corrupt(where, "foreign or corrupt cell payload")
+        return result
+
+    def store(self, key: CellKey, result: PhaseResult) -> None:
+        self._pending[key.cell_id] = json.dumps(result.to_dict())
+        if len(self._pending) >= self.BATCH:
+            self.flush()
+
+    def flush(self) -> None:
+        if not self._pending:
+            return
+        rows = [
+            (self.key, cell_id, CACHE_FORMAT, payload)
+            for cell_id, payload in self._pending.items()
+        ]
+        try:
+            with self._conn:
+                self._conn.executemany(
+                    "INSERT OR REPLACE INTO cells"
+                    " (cache_key, cell_id, format, payload)"
+                    " VALUES (?, ?, ?, ?)",
+                    rows,
+                )
+        except sqlite3.Error as exc:
+            raise ReproError(
+                f"sqlite cache {self.path} rejected a write: {exc}"
+            ) from exc
+        self._pending.clear()
+
+    def cell_ids(self) -> List[str]:
+        rows = self._conn.execute(
+            "SELECT cell_id FROM cells WHERE cache_key = ?", (self.key,)
+        ).fetchall()
+        ids = {row[0] for row in rows}
+        ids.update(self._pending)
+        return sorted(ids)
+
+    def close(self) -> None:
+        self.flush()
+        self._conn.close()
+
+    def _note_stale_formats(self) -> None:
+        try:
+            rows = self._conn.execute(
+                "SELECT DISTINCT format FROM cells WHERE format != ?",
+                (CACHE_FORMAT,),
+            ).fetchall()
+        except sqlite3.Error:
+            return
+        if rows:
+            stale = ", ".join(sorted(row[0] for row in rows))
+            warnings.warn(
+                f"sqlite cache {self.path} holds stale-format cells "
+                f"[{stale}]; current format is {CACHE_FORMAT} — they are "
+                "ignored and safe to delete"
+            )
+
+
+def backend_from_spec(spec: str, cache_key: str) -> CacheBackend:
+    """Open a backend from a spec string.
+
+    ``sqlite:///PATH`` selects :class:`SqliteCacheBackend`,
+    ``dir:///PATH`` (or a bare path) :class:`DirCacheBackend`.
+    """
+    if spec.startswith("sqlite:///"):
+        return SqliteCacheBackend(spec[len("sqlite:///") :], cache_key)
+    if spec.startswith("dir:///"):
+        return DirCacheBackend(spec[len("dir:///") :], cache_key)
+    if "://" in spec:
+        raise ReproError(
+            f"unknown cache backend {spec!r} "
+            "(supported: dir:///PATH, sqlite:///PATH.db, or a bare directory)"
+        )
+    return DirCacheBackend(spec, cache_key)
+
+
+# -- the sweep space -------------------------------------------------------------
+
+
+@dataclasses.dataclass(frozen=True)
+class SweepSpec:
+    """The (workload × strategy × seed × heap-config) grid to run."""
+
+    workloads: Tuple[str, ...]
+    strategies: Tuple[str, ...]
+    seeds: Tuple[int, ...] = (42,)
+    heap_configs: Tuple[str, ...] = ("default",)
+
+    def __post_init__(self) -> None:
+        for heap in self.heap_configs:
+            heap_config(heap)  # raises ReproError on unknown names
+        if not (self.workloads and self.strategies and self.seeds):
+            raise ReproError("a sweep needs ≥1 workload, strategy, and seed")
+
+    def production_cells(self) -> List[CellKey]:
+        """Every production cell, in deterministic sweep order."""
+        return [
+            CellKey(workload=w, strategy=s, seed=seed, heap=heap)
+            for heap in self.heap_configs
+            for seed in self.seeds
+            for w in self.workloads
+            for s in self.strategies
+        ]
+
+    @property
+    def size(self) -> int:
+        return (
+            len(self.workloads)
+            * len(self.strategies)
+            * len(self.seeds)
+            * len(self.heap_configs)
+        )
+
+
+# -- streaming results -----------------------------------------------------------
+
+
+@dataclasses.dataclass
+class SweepProgress:
+    """Live progress attached to every streamed cell."""
+
+    done: int
+    total: int
+    elapsed_s: float
+
+    @property
+    def cells_per_sec(self) -> float:
+        if self.elapsed_s <= 0:
+            return 0.0
+        return self.done / self.elapsed_s
+
+    @property
+    def eta_s(self) -> float:
+        rate = self.cells_per_sec
+        if rate <= 0:
+            return 0.0
+        return (self.total - self.done) / rate
+
+
+@dataclasses.dataclass
+class CellResult:
+    """One cell landing: streamed by :func:`run_sweep` as it completes."""
+
+    key: CellKey
+    result: PhaseResult
+    cached: bool
+    progress: SweepProgress
+
+
+# -- worker-process entry points -------------------------------------------------
+# Module-level so ProcessPoolExecutor can pickle them.  Each worker
+# builds a fresh pipeline from primitive arguments; the virtual clock
+# makes every cell bit-deterministic, so worker results are identical
+# to what the serial path computes in-process.
+
+
+def _cell_pipeline(workload: str, seed: int, heap: str) -> POLM2Pipeline:
+    config = heap_config(heap, base=SimConfig(seed=seed))
+    return POLM2Pipeline(
+        workload_factory=lambda w=workload, s=seed: make_workload(w, seed=s),
+        config=config,
+    )
+
+
+def _run_profiling_cell(
+    workload: str, seed: int, heap: str, profiling_ms: float
+) -> PhaseResult:
+    keep: List[PhaseResult] = []
+    _cell_pipeline(workload, seed, heap).run_profiling_phase(
+        duration_ms=profiling_ms, keep_result=keep
+    )
+    return keep[0]
+
+
+def _run_production_cell(
+    workload: str,
+    strategy: str,
+    seed: int,
+    heap: str,
+    production_ms: float,
+    profile_json: Optional[str],
+) -> PhaseResult:
+    """Resolve ``strategy`` through the registry and run one cell.
+
+    Workers see only strategies registered at import time (the built-ins
+    plus anything a ``repro.strategies``-importing plugin registers);
+    strategies registered dynamically in the parent process require the
+    serial scheduler.
+    """
+    pipe = _cell_pipeline(workload, seed, heap)
+    profile = (
+        AllocationProfile.from_json(profile_json)
+        if profile_json is not None
+        else None
+    )
+    return pipe.run(strategy, duration_ms=production_ms, profile=profile)
+
+
+# -- the sharded work-stealing scheduler ----------------------------------------
+
+
+class _ShardedScheduler:
+    """Shards ready cells across worker slots and steals for stragglers.
+
+    The parent process owns one deque per worker slot.  A slot that
+    finishes a cell pulls the next from its own shard head; a dry slot
+    steals from the tail of the fullest shard.  Cells are sharded by a
+    stable hash of their id, so the initial placement is deterministic;
+    stealing then rebalances whatever reality does to the schedule.
+    """
+
+    def __init__(self, nshards: int) -> None:
+        self.shards: List[Deque[CellKey]] = [deque() for _ in range(nshards)]
+
+    def shard_of(self, key: CellKey) -> int:
+        return zlib.crc32(key.cell_id.encode()) % len(self.shards)
+
+    def push(self, key: CellKey) -> None:
+        self.shards[self.shard_of(key)].append(key)
+
+    def pop_for(self, slot: int) -> Optional[CellKey]:
+        own = self.shards[slot]
+        if own:
+            return own.popleft()
+        victim = max(self.shards, key=len)
+        if victim:
+            return victim.pop()  # steal from the tail: coldest work
+        return None
+
+    def __len__(self) -> int:
+        return sum(len(shard) for shard in self.shards)
+
+
+def run_sweep(
+    spec: SweepSpec,
+    *,
+    profiling_ms: float = 30_000.0,
+    production_ms: float = 60_000.0,
+    backend: Optional[CacheBackend] = None,
+    jobs: int = 1,
+    mode: str = "sharded",
+    preloaded: Optional[Mapping[CellKey, PhaseResult]] = None,
+    clock: Callable[[], float] = time.perf_counter,
+) -> Iterator[CellResult]:
+    """Run every cell of ``spec``, streaming results as they land.
+
+    Cache hits (from ``backend`` and ``preloaded``) stream first; live
+    cells follow as workers complete them.  Profiling cells are
+    scheduled only for production cells that actually need computing —
+    a cached POLM2 cell never forces its profiling phase — and appear
+    in the stream (and the done/total counts) like any other cell.
+
+    ``mode="sharded"`` (the default) uses the work-stealing scheduler
+    with the per-cell DAG; ``mode="wave"`` inserts the legacy global
+    barrier between the profiling and production waves (kept for
+    benchmarking scheduler overhead); ``mode="serial"`` — or ``jobs=1``
+    — runs in-process in deterministic sweep order.  All three produce
+    byte-identical cells.
+    """
+    if mode not in SCHEDULER_MODES:
+        raise ReproError(
+            f"unknown scheduler mode {mode!r} (known: {', '.join(SCHEDULER_MODES)})"
+        )
+    if jobs < 1:
+        raise ReproError(f"jobs must be >= 1, got {jobs}")
+    preloaded = dict(preloaded or {})
+    start = clock()
+
+    def lookup(key: CellKey) -> Optional[PhaseResult]:
+        hit = preloaded.get(key)
+        if hit is None and backend is not None:
+            hit = backend.load(key)
+        if hit is None:
+            return None
+        if key.is_profiling and hit.profile is None:
+            return None  # foreign/corrupt profiling cell: recompute
+        return hit
+
+    # -- cache probe: production first, then only the profiling cells
+    # some uncached production cell still needs.
+    production = spec.production_cells()
+    hits: List[Tuple[CellKey, PhaseResult]] = []
+    pending: List[CellKey] = []
+    for key in production:
+        found = lookup(key)
+        if found is not None:
+            hits.append((key, found))
+        else:
+            pending.append(key)
+    needed_profiling: List[CellKey] = []
+    profiles: Dict[CellKey, str] = {}  # profiling cell -> profile JSON
+    blocked: Dict[CellKey, List[CellKey]] = {}
+    for key in pending:
+        if not get_strategy(key.strategy).needs_profile:
+            continue
+        prof_key = key.profiling_key()
+        if prof_key not in blocked:
+            blocked[prof_key] = []
+            needed_profiling.append(prof_key)
+        blocked[prof_key].append(key)
+    pending_profiling: List[CellKey] = []
+    for prof_key in needed_profiling:
+        found = lookup(prof_key)
+        if found is not None:
+            hits.append((prof_key, found))
+            profiles[prof_key] = found.profile.to_json()
+            del blocked[prof_key]
+        else:
+            pending_profiling.append(prof_key)
+
+    total = len(production) + len(needed_profiling)
+    done = 0
+
+    def emit(key: CellKey, result: PhaseResult, cached: bool) -> CellResult:
+        nonlocal done
+        done += 1
+        return CellResult(
+            key=key,
+            result=result,
+            cached=cached,
+            progress=SweepProgress(
+                done=done, total=total, elapsed_s=clock() - start
+            ),
+        )
+
+    def computed(key: CellKey, result: PhaseResult) -> CellResult:
+        if backend is not None:
+            # Store *and* commit before the cell is reported done: a
+            # killed sweep must resume from every cell it streamed.
+            backend.store(key, result)
+            backend.flush()
+        if key.is_profiling:
+            profiles[key] = result.profile.to_json()
+        return emit(key, result, cached=False)
+
+    try:
+        for key, result in hits:
+            yield emit(key, result, cached=True)
+        if not pending and not pending_profiling:
+            return
+
+        if jobs == 1 or mode == "serial":
+            # Deterministic sweep order; each needed profiling cell runs
+            # immediately before its first dependent.
+            profiled = set(profiles)
+            for key in pending:
+                prof_key = key.profiling_key()
+                if (
+                    get_strategy(key.strategy).needs_profile
+                    and prof_key not in profiled
+                ):
+                    yield computed(
+                        prof_key,
+                        _run_profiling_cell(
+                            key.workload, key.seed, key.heap, profiling_ms
+                        ),
+                    )
+                    profiled.add(prof_key)
+                profile_json = (
+                    profiles.get(prof_key)
+                    if get_strategy(key.strategy).needs_profile
+                    else None
+                )
+                yield computed(
+                    key,
+                    _run_production_cell(
+                        key.workload,
+                        key.strategy,
+                        key.seed,
+                        key.heap,
+                        production_ms,
+                        profile_json,
+                    ),
+                )
+            return
+
+        yield from _run_sweep_pool(
+            pending,
+            pending_profiling,
+            blocked,
+            profiles,
+            computed,
+            profiling_ms=profiling_ms,
+            production_ms=production_ms,
+            backend=backend,
+            jobs=jobs,
+            barrier=(mode == "wave"),
+        )
+    finally:
+        if backend is not None:
+            backend.flush()
+
+
+def _run_sweep_pool(
+    pending: Sequence[CellKey],
+    pending_profiling: Sequence[CellKey],
+    blocked: Dict[CellKey, List[CellKey]],
+    profiles: Dict[CellKey, str],
+    computed: Callable[[CellKey, PhaseResult], CellResult],
+    *,
+    profiling_ms: float,
+    production_ms: float,
+    backend: Optional[CacheBackend],
+    jobs: int,
+    barrier: bool,
+) -> Iterator[CellResult]:
+    """The parallel scheduler body shared by sharded and wave modes."""
+    scheduler = _ShardedScheduler(jobs)
+    deferred_production: List[CellKey] = []
+    blocked_cells = {dep for deps in blocked.values() for dep in deps}
+    for key in pending_profiling:
+        scheduler.push(key)
+    for key in pending:
+        if barrier and pending_profiling:
+            # Wave mode: *no* production cell starts before every
+            # profiling cell has landed — the global two-wave barrier.
+            deferred_production.append(key)
+        elif key in blocked_cells:
+            pass  # the DAG releases it when its profiling cell lands
+        else:
+            scheduler.push(key)
+
+    with concurrent.futures.ProcessPoolExecutor(max_workers=jobs) as pool:
+        in_flight: Dict[concurrent.futures.Future, Tuple[CellKey, int]] = {}
+        profiling_left = len(pending_profiling)
+
+        def submit(key: CellKey, slot: int) -> None:
+            if key.is_profiling:
+                future = pool.submit(
+                    _run_profiling_cell,
+                    key.workload,
+                    key.seed,
+                    key.heap,
+                    profiling_ms,
+                )
+            else:
+                profile_json = (
+                    profiles.get(key.profiling_key())
+                    if get_strategy(key.strategy).needs_profile
+                    else None
+                )
+                future = pool.submit(
+                    _run_production_cell,
+                    key.workload,
+                    key.strategy,
+                    key.seed,
+                    key.heap,
+                    production_ms,
+                    profile_json,
+                )
+            in_flight[future] = (key, slot)
+
+        def fill(free_slots: List[int]) -> None:
+            while free_slots:
+                slot = free_slots[-1]
+                key = scheduler.pop_for(slot)
+                if key is None:
+                    break
+                free_slots.pop()
+                submit(key, slot)
+
+        fill(list(range(jobs)))
+        while in_flight:
+            completed, _ = concurrent.futures.wait(
+                in_flight, return_when=concurrent.futures.FIRST_COMPLETED
+            )
+            free_slots: List[int] = []
+            for future in completed:
+                key, slot = in_flight.pop(future)
+                free_slots.append(slot)
+                result = future.result()
+                yield computed(key, result)
+                if key.is_profiling:
+                    profiling_left -= 1
+                    for dependent in blocked.pop(key, []):
+                        if not barrier:
+                            scheduler.push(dependent)
+                    if barrier and profiling_left == 0:
+                        # Wave barrier: release every production cell at
+                        # once, only now that all profiles exist.
+                        for dependent in deferred_production:
+                            scheduler.push(dependent)
+                        deferred_production = []
+            fill(free_slots)
+
+
+# -- multi-seed aggregation ------------------------------------------------------
+
+
+@dataclasses.dataclass
+class PooledSeries:
+    """Pause samples for one (workload, strategy) pooled across seeds."""
+
+    workload: str
+    strategy: str
+    durations_ms: List[float]
+    seeds: int
+
+    @property
+    def samples(self) -> int:
+        return len(self.durations_ms)
+
+    @property
+    def row(self) -> List[float]:
+        from repro.metrics.percentiles import percentile_row
+
+        return percentile_row(self.durations_ms)
+
+    @property
+    def support(self) -> str:
+        return f"{self.samples} pauses / {self.seeds} seed(s)"
+
+
+def pooled_pause_percentiles(
+    cells: Mapping[CellKey, PhaseResult],
+    strategies: Optional[Sequence[str]] = None,
+) -> Dict[str, Dict[str, PooledSeries]]:
+    """Pool pause samples across seeds (and heap configs) per cell group.
+
+    Returns ``{workload: {STRATEGY: PooledSeries}}``; each series keeps
+    its seed and sample count so figures can report the support behind
+    every percentile claim.
+    """
+    grouped: Dict[Tuple[str, str], Tuple[List[float], set]] = {}
+    for key, result in cells.items():
+        if key.is_profiling:
+            continue
+        if strategies is not None and key.strategy not in strategies:
+            continue
+        durations, seeds = grouped.setdefault(
+            (key.workload, key.strategy), ([], set())
+        )
+        durations.extend(result.pause_durations_ms())
+        seeds.add(key.seed)
+    pooled: Dict[str, Dict[str, PooledSeries]] = {}
+    for (workload, strategy), (durations, seeds) in sorted(grouped.items()):
+        pooled.setdefault(workload, {})[strategy.upper()] = PooledSeries(
+            workload=workload,
+            strategy=strategy,
+            durations_ms=durations,
+            seeds=len(seeds),
+        )
+    return pooled

@@ -5,43 +5,73 @@ C4} runs; Table 1 consumes the profiling phases.  The runner executes
 each cell once and caches it, so regenerating every figure costs one pass
 over the matrix.
 
-Three performance layers sit on top of the straightforward serial pass:
+The heavy lifting lives in :mod:`repro.experiments.matrix` — the
+fleet-scale sweep engine: a sharded work-stealing scheduler over the
+(workload × strategy × seed × heap-config) space with a per-cell
+profiling→production dependency DAG, streaming cell results, and a
+pluggable :class:`~repro.experiments.matrix.CacheBackend` (JSON dir by
+default, single-file WAL sqlite via ``--cache-backend
+sqlite:///sweep.db`` / ``REPRO_CACHE_BACKEND``).  This module keeps the
+figure-facing conveniences on top:
 
-* **in-memory memoization** — each cell is computed once per runner
-  (unchanged from the original design);
-* **on-disk result cache** — JSON under ``.repro_cache/`` keyed by a
-  hash of the :class:`SimConfig` fingerprint, the experiment settings,
-  and a content hash of the ``repro`` package sources, so re-running
-  figures after a restart is near-free and any code or config change
+* **in-memory memoization** — each cell is computed once per runner;
+* **on-disk result cache** — keyed by a hash of the
+  :class:`SimConfig` fingerprint, the experiment settings, and a
+  content hash of the ``repro`` package sources, so re-running figures
+  after a restart is near-free and any code or config change
   invalidates stale results;
-* **parallel execution** — ``full_matrix(jobs=N)`` (or ``REPRO_JOBS``)
-  farms independent cells out to a ``ProcessPoolExecutor``: baseline
-  cells and profiling phases run concurrently in a first wave, and each
-  workload's POLM2 production cell is dispatched the moment its
-  profiling phase lands.  Every cell is deterministic (virtual clock,
-  fixed seed), so parallel results are identical to serial ones.
+* **multi-seed pooling** — with ``ExperimentSettings.seeds`` set (env
+  ``REPRO_SEEDS``, e.g. ``0-7`` or ``1,3,5``), ``pause_series`` pools
+  pause samples across every seed and ``series_support`` reports the
+  seed/sample counts figures print alongside their percentiles.
 
 Durations honour two environment variables so CI can run quick smoke
 passes: ``REPRO_PROFILE_MS`` and ``REPRO_PRODUCTION_MS`` (virtual
-milliseconds); ``REPRO_JOBS`` and ``REPRO_CACHE_DIR`` configure the
-parallel and cached paths the same way.
+milliseconds); ``REPRO_JOBS``, ``REPRO_CACHE_DIR``, ``REPRO_SEEDS``,
+and ``REPRO_CACHE_BACKEND`` configure the parallel, cached, and
+multi-seed paths the same way.
 """
 
 from __future__ import annotations
 
-import concurrent.futures
 import dataclasses
-import hashlib
-import json
 import os
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.config import SimConfig
 from repro.core.pipeline import POLM2Pipeline, PhaseResult
 from repro.core.profile import AllocationProfile
 from repro.errors import ReproError
+from repro.experiments.matrix import (
+    CACHE_FORMAT,
+    PROFILING_KEY,
+    CacheBackend,
+    CellKey,
+    CellResult,
+    DirCacheBackend,
+    SweepSpec,
+    backend_from_spec,
+    code_version,
+    heap_config,
+    parse_seeds,
+    run_sweep,
+    sweep_cache_key,
+)
 from repro.strategies import get_strategy
 from repro.workloads import WORKLOAD_NAMES, make_workload
+
+__all__ = [
+    "CACHE_FORMAT",
+    "PROFILING_KEY",
+    "STRATEGIES",
+    "PAUSE_STRATEGIES",
+    "ExperimentRunner",
+    "ExperimentSettings",
+    "MatrixCache",
+    "code_version",
+    "default_runner",
+    "reset_default_runner",
+]
 
 #: Strategy keys as plotted in the paper.
 STRATEGIES = ("g1", "ng2c", "polm2", "c4")
@@ -49,15 +79,6 @@ STRATEGIES = ("g1", "ng2c", "polm2", "c4")
 #: Strategies shown in pause-time figures (C4 is omitted there: all of
 #: its pauses are below 10 ms, paper §5).
 PAUSE_STRATEGIES = ("g1", "ng2c", "polm2")
-
-#: Cache-format version; bump on incompatible PhaseResult layout changes.
-#: v2: profiles embed the versioned STTree IR (polm2-profile-v2).
-#: v3: snapshot id sets ride the compact IdSet kernel / binary columnar
-#: store (polm2-snapshots-v2) — stale v2 cells must not mix with them.
-CACHE_FORMAT = "matrix-cache-v3"
-
-#: The pseudo-strategy key the profiling phase is cached under.
-PROFILING_KEY = "polm2-profiling"
 
 
 def _env_int(name: str, default: int) -> int:
@@ -86,20 +107,25 @@ def _env_float(name: str, default: float) -> float:
 
 @dataclasses.dataclass
 class ExperimentSettings:
-    """Durations, seed, and performance knobs for a full experiment pass.
+    """Durations, seeds, and performance knobs for a full experiment pass.
 
-    ``jobs`` and ``cache_dir`` affect only *how fast* results are
-    produced, never their values, so they are excluded from the on-disk
-    cache key.
+    ``jobs``, ``cache_dir``, and ``cache_backend`` affect only *how
+    fast* results are produced, never their values, so they are
+    excluded from the on-disk cache key.
     """
 
     profiling_ms: float = 30_000.0
     production_ms: float = 60_000.0
     seed: int = 42
-    #: Worker processes for ``full_matrix`` (1 = serial).
+    #: Seeds a multi-seed sweep ranges over (None = just ``seed``).
+    seeds: Optional[Tuple[int, ...]] = None
+    #: Worker processes for ``full_matrix`` / ``sweep`` (1 = serial).
     jobs: int = 1
     #: Directory of the on-disk result cache (None disables it).
     cache_dir: Optional[str] = None
+    #: Cache backend spec (``dir:///PATH`` or ``sqlite:///PATH.db``);
+    #: overrides ``cache_dir`` when set.
+    cache_backend: Optional[str] = None
 
     @classmethod
     def from_env(cls) -> "ExperimentSettings":
@@ -109,101 +135,68 @@ class ExperimentSettings:
         ``ValueError``) on unparseable values so the CLI can report them
         as one-line errors.
         """
+        raw_seeds = os.environ.get("REPRO_SEEDS") or None
         return cls(
             profiling_ms=_env_float("REPRO_PROFILE_MS", 30_000.0),
             production_ms=_env_float("REPRO_PRODUCTION_MS", 60_000.0),
             seed=_env_int("REPRO_SEED", 42),
+            seeds=parse_seeds(raw_seeds) if raw_seeds else None,
             jobs=_env_int("REPRO_JOBS", 1),
             cache_dir=os.environ.get("REPRO_CACHE_DIR") or None,
+            cache_backend=os.environ.get("REPRO_CACHE_BACKEND") or None,
         )
 
+    @property
+    def seed_list(self) -> Tuple[int, ...]:
+        """The seeds a sweep ranges over (``seeds`` or just ``seed``)."""
+        return self.seeds if self.seeds else (self.seed,)
 
-# -- code-version fingerprint ---------------------------------------------------
-
-_code_version_cache: Optional[str] = None
-
-
-def code_version() -> str:
-    """Content hash over every ``repro`` source file (cached per process).
-
-    Part of the result-cache key: editing any module invalidates every
-    cached cell, which is what makes the cache safe to leave on.
-    """
-    global _code_version_cache
-    if _code_version_cache is None:
-        import repro
-
-        digest = hashlib.sha256()
-        package_root = os.path.dirname(os.path.abspath(repro.__file__))
-        for dirpath, dirnames, filenames in sorted(os.walk(package_root)):
-            dirnames.sort()
-            for filename in sorted(filenames):
-                if not filename.endswith(".py"):
-                    continue
-                path = os.path.join(dirpath, filename)
-                digest.update(os.path.relpath(path, package_root).encode())
-                with open(path, "rb") as handle:
-                    digest.update(handle.read())
-        _code_version_cache = digest.hexdigest()
-    return _code_version_cache
+    def open_backend(self, config: SimConfig) -> Optional[CacheBackend]:
+        """Open the configured cache backend (None when caching is off)."""
+        key = sweep_cache_key(config, self.profiling_ms, self.production_ms)
+        if self.cache_backend:
+            return backend_from_spec(self.cache_backend, key)
+        if self.cache_dir:
+            return DirCacheBackend(self.cache_dir, key)
+        return None
 
 
-class MatrixCache:
-    """On-disk JSON cache of :class:`PhaseResult` cells.
+class MatrixCache(DirCacheBackend):
+    """The legacy (workload, strategy) view of the JSON-dir backend.
 
-    Layout: ``<root>/<key>/<workload>__<strategy>.json`` where ``key``
-    hashes the simulation config, the experiment durations/seed, the
-    cache format, and the package code version.  Cells from stale code
-    or different settings simply live under a different key directory,
-    so no explicit invalidation pass is ever needed.
+    Kept for compatibility: cells are addressed by (workload, strategy)
+    at the settings' single seed and the default heap config.  New code
+    should use a :class:`~repro.experiments.matrix.CacheBackend` with
+    full :class:`~repro.experiments.matrix.CellKey` addressing.
     """
 
     def __init__(
         self, root: str, config: SimConfig, settings: ExperimentSettings
     ) -> None:
-        payload = json.dumps(
-            {
-                "format": CACHE_FORMAT,
-                "code": code_version(),
-                "config": config.fingerprint(),
-                "profiling_ms": settings.profiling_ms,
-                "production_ms": settings.production_ms,
-                "seed": settings.seed,
-            },
-            sort_keys=True,
+        self.seed = settings.seed
+        super().__init__(
+            root,
+            sweep_cache_key(
+                config, settings.profiling_ms, settings.production_ms
+            ),
         )
-        self.key = hashlib.sha256(payload.encode()).hexdigest()[:20]
-        self.dir = os.path.join(root, self.key)
 
-    def _path(self, workload: str, strategy: str) -> str:
-        return os.path.join(self.dir, f"{workload}__{strategy}.json")
+    def _cell_key(self, workload: str, strategy: str) -> CellKey:
+        return CellKey(workload=workload, strategy=strategy, seed=self.seed)
 
-    def load(self, workload: str, strategy: str) -> Optional[PhaseResult]:
-        path = self._path(workload, strategy)
-        try:
-            with open(path) as handle:
-                payload = json.load(handle)
-        except (OSError, ValueError):
-            return None
-        try:
-            return PhaseResult.from_dict(payload)
-        except (KeyError, TypeError, ValueError):
-            return None  # corrupt/foreign cell: recompute
+    def load(self, workload: str, strategy: str) -> Optional[PhaseResult]:  # type: ignore[override]
+        return super().load(self._cell_key(workload, strategy))
 
-    def store(self, workload: str, strategy: str, result: PhaseResult) -> None:
-        os.makedirs(self.dir, exist_ok=True)
-        path = self._path(workload, strategy)
-        tmp = path + ".tmp"
-        with open(tmp, "w") as handle:
-            json.dump(result.to_dict(), handle)
-        os.replace(tmp, path)
+    def store(self, workload: str, strategy: str, result: PhaseResult) -> None:  # type: ignore[override]
+        super().store(self._cell_key(workload, strategy), result)
 
 
-# -- worker-process entry points ------------------------------------------------
-# Module-level so ProcessPoolExecutor can pickle them.  Each worker
-# builds a fresh pipeline from primitive arguments; the virtual clock
-# makes every cell bit-deterministic, so worker results are identical
-# to what the serial path computes in-process.
+# -- worker-process entry points (re-exported; implementations live in
+# matrix.py so the sweep engine and the runner share one code path) ------------
+from repro.experiments.matrix import (  # noqa: E402
+    _run_production_cell,
+    _run_profiling_cell,
+)
 
 
 def _worker_pipeline(workload: str, seed: int) -> POLM2Pipeline:
@@ -213,132 +206,152 @@ def _worker_pipeline(workload: str, seed: int) -> POLM2Pipeline:
     )
 
 
-def _run_profiling_cell(
-    workload: str, seed: int, profiling_ms: float
-) -> PhaseResult:
-    keep: List[PhaseResult] = []
-    _worker_pipeline(workload, seed).run_profiling_phase(
-        duration_ms=profiling_ms, keep_result=keep
-    )
-    return keep[0]
-
-
-def _run_production_cell(
-    workload: str,
-    strategy: str,
-    seed: int,
-    production_ms: float,
-    profile_json: Optional[str],
-) -> PhaseResult:
-    """Resolve ``strategy`` through the registry and run one cell.
-
-    Workers see only strategies registered at import time (the built-ins
-    plus anything a ``repro.strategies``-importing plugin registers);
-    strategies registered dynamically in the parent process require the
-    serial path (``jobs=1``).
-    """
-    pipe = _worker_pipeline(workload, seed)
-    profile = (
-        AllocationProfile.from_json(profile_json)
-        if profile_json is not None
-        else None
-    )
-    return pipe.run(strategy, duration_ms=production_ms, profile=profile)
-
-
 class ExperimentRunner:
-    """Runs and caches every (workload, strategy) cell."""
+    """Runs and caches every (workload, strategy[, seed, heap]) cell."""
 
     def __init__(self, settings: Optional[ExperimentSettings] = None) -> None:
         self.settings = settings or ExperimentSettings.from_env()
-        self._pipelines: Dict[str, POLM2Pipeline] = {}
-        self._profiles: Dict[str, AllocationProfile] = {}
-        self._profiling_results: Dict[str, PhaseResult] = {}
-        self._results: Dict[Tuple[str, str], PhaseResult] = {}
-        self._cache: Optional[MatrixCache] = None
-        if self.settings.cache_dir:
-            self._cache = MatrixCache(
-                self.settings.cache_dir,
-                SimConfig(seed=self.settings.seed),
-                self.settings,
-            )
+        self._pipelines: Dict[Tuple[str, int, str], POLM2Pipeline] = {}
+        self._profiles: Dict[Tuple[str, int, str], AllocationProfile] = {}
+        self._profiling_results: Dict[Tuple[str, int, str], PhaseResult] = {}
+        self._cells: Dict[CellKey, PhaseResult] = {}
+        self._backend: Optional[CacheBackend] = self.settings.open_backend(
+            SimConfig(seed=self.settings.seed)
+        )
+
+    # -- legacy single-seed view (what the figure modules consume) ---------------
+
+    @property
+    def _results(self) -> Dict[Tuple[str, str], PhaseResult]:
+        """(workload, strategy) view of the default-seed production cells."""
+        seed = self.settings.seed
+        return {
+            (key.workload, key.strategy): result
+            for key, result in self._cells.items()
+            if key.seed == seed
+            and key.heap == "default"
+            and not key.is_profiling
+        }
 
     # -- building blocks ---------------------------------------------------------
 
-    def pipeline(self, workload: str) -> POLM2Pipeline:
-        pipe = self._pipelines.get(workload)
+    def pipeline(
+        self, workload: str, seed: Optional[int] = None, heap: str = "default"
+    ) -> POLM2Pipeline:
+        seed = self.settings.seed if seed is None else seed
+        cache_key = (workload, seed, heap)
+        pipe = self._pipelines.get(cache_key)
         if pipe is None:
-            seed = self.settings.seed
             pipe = POLM2Pipeline(
-                workload_factory=lambda w=workload, s=seed: make_workload(w, seed=s),
-                config=SimConfig(seed=seed),
+                workload_factory=lambda w=workload, s=seed: make_workload(
+                    w, seed=s
+                ),
+                config=heap_config(heap, base=SimConfig(seed=seed)),
             )
-            self._pipelines[workload] = pipe
+            self._pipelines[cache_key] = pipe
         return pipe
 
-    def _adopt_profiling_result(self, workload: str, cell: PhaseResult) -> None:
-        self._profiling_results[workload] = cell
+    def _adopt_profiling_result(
+        self,
+        workload: str,
+        cell: PhaseResult,
+        seed: Optional[int] = None,
+        heap: str = "default",
+    ) -> None:
+        seed = self.settings.seed if seed is None else seed
+        self._profiling_results[(workload, seed, heap)] = cell
         if cell.profile is not None:
-            self._profiles[workload] = cell.profile
+            self._profiles[(workload, seed, heap)] = cell.profile
 
-    def profile(self, workload: str) -> AllocationProfile:
+    def profile(
+        self, workload: str, seed: Optional[int] = None, heap: str = "default"
+    ) -> AllocationProfile:
         """The POLM2 allocation profile for a workload (cached)."""
-        prof = self._profiles.get(workload)
+        seed = self.settings.seed if seed is None else seed
+        prof = self._profiles.get((workload, seed, heap))
         if prof is None:
-            cell = self._cache_load(workload, PROFILING_KEY)
+            key = CellKey(workload, PROFILING_KEY, seed, heap)
+            cell = self._cache_load_key(key)
             if cell is not None and cell.profile is None:
                 cell = None  # foreign/corrupt cell: recompute
             if cell is None:
                 keep: List[PhaseResult] = []
-                self.pipeline(workload).run_profiling_phase(
+                self.pipeline(workload, seed, heap).run_profiling_phase(
                     duration_ms=self.settings.profiling_ms, keep_result=keep
                 )
                 cell = keep[0]
-                self._cache_store(workload, PROFILING_KEY, cell)
-            self._adopt_profiling_result(workload, cell)
-            prof = self._profiles[workload]
+                self._cache_store_key(key, cell)
+            self._adopt_profiling_result(workload, cell, seed, heap)
+            prof = self._profiles[(workload, seed, heap)]
         return prof
 
     def profiling_result(self, workload: str) -> PhaseResult:
         """The PhaseResult of the profiling run (snapshots included)."""
         self.profile(workload)
-        return self._profiling_results[workload]
+        return self._profiling_results[
+            (workload, self.settings.seed, "default")
+        ]
 
     # -- the on-disk cache --------------------------------------------------------
 
-    def _cache_load(self, workload: str, strategy: str) -> Optional[PhaseResult]:
-        if self._cache is None:
+    def _cache_load_key(self, key: CellKey) -> Optional[PhaseResult]:
+        if self._backend is None:
             return None
-        return self._cache.load(workload, strategy)
+        return self._backend.load(key)
+
+    def _cache_store_key(self, key: CellKey, cell: PhaseResult) -> None:
+        if self._backend is not None:
+            self._backend.store(key, cell)
+            self._backend.flush()
+
+    def _cache_load(self, workload: str, strategy: str) -> Optional[PhaseResult]:
+        return self._cache_load_key(
+            CellKey(workload, strategy, self.settings.seed)
+        )
 
     def _cache_store(
         self, workload: str, strategy: str, cell: PhaseResult
     ) -> None:
-        if self._cache is not None:
-            self._cache.store(workload, strategy, cell)
+        self._cache_store_key(
+            CellKey(workload, strategy, self.settings.seed), cell
+        )
 
-    def result(self, workload: str, strategy: str) -> PhaseResult:
-        """One production-phase cell of the matrix (cached).
+    def cell(
+        self,
+        workload: str,
+        strategy: str,
+        seed: Optional[int] = None,
+        heap: str = "default",
+    ) -> PhaseResult:
+        """One production cell of the sweep space (cached).
 
-        Lookup order: in-memory, then the on-disk cache, then compute.
-        A disk hit for a ``polm2`` cell never forces the profiling phase
-        — the cached cell already embeds the profile it was run with.
+        Lookup order: in-memory, then the cache backend, then compute.
+        A cache hit for a ``polm2`` cell never forces the profiling
+        phase — the cached cell already embeds the profile it ran with.
         """
-        key = (workload, strategy)
-        cell = self._results.get(key)
-        if cell is None:
-            cell = self._cache_load(workload, strategy)
-        if cell is None:
-            pipe = self.pipeline(workload)
+        seed = self.settings.seed if seed is None else seed
+        key = CellKey(workload, strategy, seed, heap)
+        result = self._cells.get(key)
+        if result is None:
+            result = self._cache_load_key(key)
+        if result is None:
             spec = get_strategy(strategy)
-            cell = pipe.run(
+            result = self.pipeline(workload, seed, heap).run(
                 spec,
                 duration_ms=self.settings.production_ms,
-                profile=self.profile(workload) if spec.needs_profile else None,
+                profile=(
+                    self.profile(workload, seed, heap)
+                    if spec.needs_profile
+                    else None
+                ),
             )
-            self._cache_store(workload, strategy, cell)
-        self._results[key] = cell
-        return cell
+            self._cache_store_key(key, result)
+        self._cells[key] = result
+        return result
+
+    def result(self, workload: str, strategy: str) -> PhaseResult:
+        """One production cell at the default seed and heap config."""
+        return self.cell(workload, strategy)
 
     # -- bulk access ----------------------------------------------------------------
 
@@ -349,14 +362,33 @@ class ExperimentRunner:
     ) -> Dict[str, List[float]]:
         """Pause durations per strategy for one Figure 5/6 panel.
 
-        Reuses cached cells (memory or disk); restricting ``strategies``
-        to baselines never touches the profiling phase, and a cached
-        ``polm2`` cell is served without recomputing its profile.
+        With multi-seed settings (``seeds`` / ``REPRO_SEEDS``) the
+        samples of every seed are pooled per strategy —
+        :meth:`series_support` reports how many seeds and samples back
+        each series.  Reuses cached cells (memory or disk); restricting
+        ``strategies`` to baselines never touches the profiling phase,
+        and a cached ``polm2`` cell is served without recomputing its
+        profile.
         """
-        return {
-            strategy.upper(): self.result(workload, strategy).pause_durations_ms()
-            for strategy in strategies
-        }
+        series: Dict[str, List[float]] = {}
+        for strategy in strategies:
+            pooled: List[float] = []
+            for seed in self.settings.seed_list:
+                pooled.extend(
+                    self.cell(workload, strategy, seed).pause_durations_ms()
+                )
+            series[strategy.upper()] = pooled
+        return series
+
+    def series_support(
+        self,
+        workload: str,
+        strategies: Sequence[str] = PAUSE_STRATEGIES,
+    ) -> Dict[str, Tuple[int, int]]:
+        """Per strategy: (seeds, pause samples) behind ``pause_series``."""
+        series = self.pause_series(workload, strategies)
+        seeds = len(self.settings.seed_list)
+        return {name: (seeds, len(vals)) for name, vals in series.items()}
 
     def full_matrix(
         self,
@@ -366,121 +398,78 @@ class ExperimentRunner:
     ) -> Dict[Tuple[str, str], PhaseResult]:
         """Force-run every cell; returns {(workload, strategy): result}.
 
-        ``jobs`` > 1 executes independent cells in a process pool (the
-        default comes from ``settings.jobs`` / ``REPRO_JOBS``).  Results
-        are identical to the serial pass: every cell is deterministic in
-        (workload, strategy, seed, durations).
+        ``jobs`` > 1 executes independent cells through the sharded
+        work-stealing scheduler (the default comes from
+        ``settings.jobs`` / ``REPRO_JOBS``).  Results are identical to
+        the serial pass: every cell is deterministic in (workload,
+        strategy, seed, heap config, durations).
         """
         jobs = self.settings.jobs if jobs is None else jobs
         if jobs > 1:
-            self._run_matrix_parallel(workloads, strategies, jobs)
+            for _ in self.sweep(
+                workloads=workloads,
+                strategies=strategies,
+                seeds=(self.settings.seed,),
+                jobs=jobs,
+            ):
+                pass
         else:
             for workload in workloads:
                 for strategy in strategies:
                     self.result(workload, strategy)
+        seed = self.settings.seed
         return {
-            (workload, strategy): self._results[(workload, strategy)]
+            (workload, strategy): self._cells[
+                CellKey(workload, strategy, seed)
+            ]
             for workload in workloads
             for strategy in strategies
         }
 
-    # -- parallel execution ----------------------------------------------------------
+    # -- the fleet-scale sweep ----------------------------------------------------
 
-    def _run_matrix_parallel(
-        self, workloads: Sequence[str], strategies: Sequence[str], jobs: int
-    ) -> None:
-        """Fill ``self._results`` for the requested block using workers.
+    def sweep(
+        self,
+        workloads: Sequence[str] = WORKLOAD_NAMES,
+        strategies: Sequence[str] = STRATEGIES,
+        seeds: Optional[Sequence[int]] = None,
+        heap_configs: Sequence[str] = ("default",),
+        jobs: Optional[int] = None,
+        mode: str = "sharded",
+    ) -> Iterator[CellResult]:
+        """Stream the (workload × strategy × seed × heap-config) sweep.
 
-        Wave structure: profile-free cells and profiling phases are
-        submitted immediately; every profile-consuming cell of a workload
-        (``needs_profile`` per its :class:`StrategySpec`) is submitted as
-        soon as that workload's profiling phase lands (profiles are
-        shipped to dependent workers as JSON, computed once per
-        workload).
+        Yields :class:`~repro.experiments.matrix.CellResult` values as
+        cells land (cache hits first), with live progress attached.
+        Completed cells are adopted into the runner's in-memory store,
+        so the figure modules aggregate from warm results afterwards.
         """
-        settings = self.settings
-        pending: List[Tuple[str, str]] = []
-        needs_profile: List[str] = []
-        #: workload -> profile-consuming strategies waiting on its profile.
-        deferred: Dict[str, List[str]] = {}
-        for workload in workloads:
-            for strategy in strategies:
-                key = (workload, strategy)
-                if key in self._results:
-                    continue
-                cell = self._cache_load(workload, strategy)
-                if cell is not None:
-                    self._results[key] = cell
-                    continue
-                pending.append(key)
-                if (
-                    get_strategy(strategy).needs_profile
-                    and workload not in self._profiles
-                ):
-                    if workload not in needs_profile:
-                        cached = self._cache_load(workload, PROFILING_KEY)
-                        if cached is not None and cached.profile is not None:
-                            self._adopt_profiling_result(workload, cached)
-                        else:
-                            needs_profile.append(workload)
-                    if workload in needs_profile:
-                        deferred.setdefault(workload, []).append(strategy)
-        if not pending:
-            return
-
-        with concurrent.futures.ProcessPoolExecutor(max_workers=jobs) as pool:
-            futures: Dict[concurrent.futures.Future, Tuple[str, str]] = {}
-            for workload in needs_profile:
-                future = pool.submit(
-                    _run_profiling_cell,
-                    workload,
-                    settings.seed,
-                    settings.profiling_ms,
+        spec = SweepSpec(
+            workloads=tuple(workloads),
+            strategies=tuple(strategies),
+            seeds=tuple(seeds) if seeds is not None else self.settings.seed_list,
+            heap_configs=tuple(heap_configs),
+        )
+        preloaded = dict(self._cells)
+        for (workload, seed, heap), cell in self._profiling_results.items():
+            preloaded[CellKey(workload, PROFILING_KEY, seed, heap)] = cell
+        for item in run_sweep(
+            spec,
+            profiling_ms=self.settings.profiling_ms,
+            production_ms=self.settings.production_ms,
+            backend=self._backend,
+            jobs=self.settings.jobs if jobs is None else jobs,
+            mode=mode,
+            preloaded=preloaded,
+        ):
+            key = item.key
+            if key.is_profiling:
+                self._adopt_profiling_result(
+                    key.workload, item.result, key.seed, key.heap
                 )
-                futures[future] = (workload, PROFILING_KEY)
-            for workload, strategy in pending:
-                if strategy in deferred.get(workload, ()):
-                    continue  # dispatched once the profiling cell lands
-                profile_json = (
-                    self._profiles[workload].to_json()
-                    if get_strategy(strategy).needs_profile
-                    else None
-                )
-                future = pool.submit(
-                    _run_production_cell,
-                    workload,
-                    strategy,
-                    settings.seed,
-                    settings.production_ms,
-                    profile_json,
-                )
-                futures[future] = (workload, strategy)
-
-            while futures:
-                done, _ = concurrent.futures.wait(
-                    futures,
-                    return_when=concurrent.futures.FIRST_COMPLETED,
-                )
-                for future in done:
-                    workload, strategy = futures.pop(future)
-                    cell = future.result()
-                    if strategy == PROFILING_KEY:
-                        self._adopt_profiling_result(workload, cell)
-                        self._cache_store(workload, PROFILING_KEY, cell)
-                        profile_json = self._profiles[workload].to_json()
-                        for dep_strategy in deferred.pop(workload, []):
-                            dependent = pool.submit(
-                                _run_production_cell,
-                                workload,
-                                dep_strategy,
-                                settings.seed,
-                                settings.production_ms,
-                                profile_json,
-                            )
-                            futures[dependent] = (workload, dep_strategy)
-                    else:
-                        self._results[(workload, strategy)] = cell
-                        self._cache_store(workload, strategy, cell)
+            else:
+                self._cells[key] = item.result
+            yield item
 
 
 _default_runner: Optional[ExperimentRunner] = None

@@ -178,7 +178,17 @@ class ObjectHeaderReader:
         return [obj.object_id for obj in objects]
 
 
-# Test hook: resetting the counter keeps unit-test expectations readable.
-def _reset_identity_hashes() -> None:
+def reset_identity_hashes() -> None:
+    """Restart the identity-hash counter at 1 (fresh-process state).
+
+    Each pipeline phase run calls this before building its VM so a cell
+    computed mid-process is byte-identical to one computed in a fresh
+    worker process — the sweep scheduler's cross-mode parity contract.
+    Also used by tests to keep id expectations readable.
+    """
     global _identity_hash_counter
     _identity_hash_counter = itertools.count(1)
+
+
+# Backwards-compatible alias (the parity harness predates the rename).
+_reset_identity_hashes = reset_identity_hashes

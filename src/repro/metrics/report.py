@@ -15,14 +15,22 @@ def full_report(
     snapshot_duration_ms: float = 25_000.0,
 ) -> str:
     """Regenerate Table 1 and Figures 3-9 as one report."""
+    seeds = runner.settings.seed_list
     sections = []
+    sections.append(
+        "Support: every cell runs "
+        f"{runner.settings.profiling_ms:g} ms profiling / "
+        f"{runner.settings.production_ms:g} ms production (virtual) per "
+        f"seed; seeds: {', '.join(str(s) for s in seeds)} "
+        f"({len(seeds)} seed(s) pooled per figure)."
+    )
     sections.append(table1.render(table1.run(runner)))
     if include_snapshots:
         comparisons = fig3_fig4.run(duration_ms=snapshot_duration_ms)
         sections.append(fig3_fig4.render(comparisons))
     sections.append(fig5.render(fig5.run(runner)))
     sections.append(fig6.render(fig6.run(runner)))
-    sections.append(fig7.render(fig7.run(runner)))
+    sections.append(fig7.render(fig7.run(runner), seeds=len(seeds)))
     sections.append(fig8.render(fig8.run(runner)))
     sections.append(fig9.render(fig9.run(runner, include_c4=True)))
     divider = "\n\n" + "=" * 78 + "\n\n"

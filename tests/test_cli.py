@@ -129,6 +129,77 @@ class TestRecordAnalyzeCommands:
         assert profile.workload == "graphchi-pr"
 
 
+class TestMatrixCommand:
+    MATRIX_ARGS = [
+        "matrix",
+        "--workloads",
+        "cassandra-wi",
+        "--strategies",
+        "g1,polm2",
+        "--seeds",
+        "0-1",
+        "--duration-ms",
+        "2000",
+        "--profiling-ms",
+        "1200",
+    ]
+
+    def test_matrix_streams_progress_and_percentiles(self, capsys):
+        assert main(self.MATRIX_ARGS + ["--no-cache"]) == 0
+        out = capsys.readouterr().out
+        # Live progress: one [done/total] line per cell with rate + ETA.
+        assert "[1/6]" in out and "[6/6]" in out
+        assert "cells/s" in out and "ETA" in out
+        # Multi-seed aggregation with support counts.
+        assert "pooled pause percentiles" in out
+        assert "2 seed(s)" in out
+        assert "G1" in out and "POLM2" in out
+
+    def test_matrix_resumes_from_cache(self, tmp_path, capsys):
+        cache = ["--cache-dir", str(tmp_path / "cache")]
+        assert main(self.MATRIX_ARGS + cache) == 0
+        capsys.readouterr()
+        assert main(self.MATRIX_ARGS + cache) == 0
+        out = capsys.readouterr().out
+        assert "0 computed" in out
+
+    def test_matrix_sqlite_backend(self, tmp_path, capsys):
+        backend = ["--cache-backend", f"sqlite:///{tmp_path}/sweep.db"]
+        assert main(self.MATRIX_ARGS + backend) == 0
+        capsys.readouterr()
+        assert main(self.MATRIX_ARGS + backend) == 0
+        out = capsys.readouterr().out
+        assert "0 computed" in out
+        assert (tmp_path / "sweep.db").exists()
+
+    def test_matrix_bad_seed_spec_is_one_line_error(self, capsys):
+        code = main(
+            ["matrix", "--workloads", "lucene", "--seeds", "bogus", "--no-cache"]
+        )
+        assert code == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error: ")
+        assert len(err.strip().splitlines()) == 1
+
+    def test_matrix_unknown_strategy_is_one_line_error(self, capsys):
+        code = main(
+            [
+                "matrix",
+                "--workloads",
+                "lucene",
+                "--strategies",
+                "shenandoah",
+                "--no-cache",
+            ]
+        )
+        assert code == 2
+        assert capsys.readouterr().err.startswith("error: ")
+
+    def test_matrix_mode_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["matrix", "--mode", "chaotic"])
+
+
 class TestSnapshotFormatOption:
     def _record(self, tmp_path, *extra):
         rec_dir = str(tmp_path / "rec")
