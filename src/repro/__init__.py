@@ -32,6 +32,8 @@ from repro.core.analyzer import Analyzer
 from repro.core.instrumenter import Instrumenter
 from repro.core.pipeline import POLM2Pipeline, PhaseResult
 from repro.core.profile import AllocationProfile
+from repro.core.profilesource import ProfileSource, profile_source, resolve_profile
+from repro.core.profilestore import ProfileStore
 from repro.core.recorder import Recorder
 from repro.core.stages import IncrementalAnalyzer, ProfileBuilder
 from repro.core.sttree import STTree
@@ -62,6 +64,8 @@ __all__ = [
     "PhaseResult",
     "POLM2Pipeline",
     "ProfileBuilder",
+    "ProfileSource",
+    "ProfileStore",
     "Recorder",
     "ReproError",
     "STTree",
@@ -72,7 +76,9 @@ __all__ = [
     "WORKLOAD_NAMES",
     "get_strategy",
     "make_workload",
+    "profile_source",
     "register_strategy",
+    "resolve_profile",
     "strategy_names",
     "__version__",
 ]

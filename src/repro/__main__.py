@@ -9,8 +9,14 @@ Commands:
   analysis, the paper's actual deployment shape.
 * ``analyze <dir> [-o profile.json]`` — stream a recording directory
   through the analysis stages (``ProfileBuilder``), no VM required.
-* ``run <workload> [--profile profile.json] [--strategy ...]`` — run the
+* ``run <workload> [--profile URI] [--strategy ...]`` — run the
   production phase (or a baseline) and print the pause report.
+  ``--profile`` takes a file path or a profile URI (``store://``,
+  ``http://`` — e.g. a running ``repro serve``'s
+  ``/profiles/<workload>/latest``).
+* ``serve`` — run the continuous profiling daemon: budgeted profiling
+  cycles per workload, cross-VM STTree merge into a content-addressed
+  profile store, and an HTTP API production VMs fetch profiles from.
 * ``evaluate`` — regenerate every table and figure of the paper's §5.
 * ``matrix`` — run a fleet-scale (workload × strategy × seed ×
   heap-config) sweep through the sharded work-stealing scheduler, with
@@ -131,7 +137,11 @@ def cmd_run(args) -> int:
     profile = None
     if spec.needs_profile:
         if args.profile:
-            profile = AllocationProfile.load(args.profile)
+            from repro.core.profilesource import profile_source
+
+            source = profile_source(args.profile)
+            profile = source.resolve()
+            print(f"profile <- {source.describe()}")
         else:
             print("(no --profile given: running the profiling phase first)")
             profile = pipeline.run_profiling_phase(duration_ms=duration_ms / 2)
@@ -139,6 +149,69 @@ def cmd_run(args) -> int:
     print(result.pause_report())
     print(f"throughput: {result.throughput_ops_s:.0f} ops/s")
     print(f"peak memory: {result.peak_memory_bytes / 2**20:.1f} MiB")
+    return 0
+
+
+def cmd_serve(args) -> int:
+    import signal
+
+    from repro.serve import ServeConfig, ServeDaemon
+
+    workloads = [w.strip() for w in args.workloads.split(",") if w.strip()]
+    for name in workloads:
+        if name not in WORKLOAD_NAMES:
+            known = ", ".join(WORKLOAD_NAMES)
+            raise ReproError(f"unknown workload {name!r} (known: {known})")
+    config = ServeConfig(
+        workloads=workloads,
+        instances=args.instances,
+        seed=args.seed,
+        sim_duration_ms=args.duration_ms,
+        cycle_budget_s=args.cycle_budget_s,
+        max_rounds=args.cycles,
+        store_dir=args.store_dir,
+        host=args.host,
+        port=args.port,
+        round_interval_s=args.interval_s,
+        heap_bytes=args.heap_bytes,
+        young_bytes=args.young_bytes,
+    )
+    daemon = ServeDaemon(config)
+
+    def _on_signal(_signum, _frame) -> None:
+        daemon.request_stop()
+
+    try:
+        signal.signal(signal.SIGTERM, _on_signal)
+        signal.signal(signal.SIGINT, _on_signal)
+    except ValueError:
+        pass  # not the main thread (tests drive main() directly)
+
+    url = daemon.start_service()
+    # The smoke tests (and operators' readiness probes) key off this
+    # exact line; keep it first and flushed.
+    print(f"serving on {url}", flush=True)
+    print(
+        f"workloads: {', '.join(workloads)}  instances: {args.instances}  "
+        f"cycle budget: {args.cycle_budget_s:g}s",
+        flush=True,
+    )
+
+    def on_report(report) -> None:
+        status = (
+            "ok"
+            if report.completed
+            else f"TRUNCATED after {report.truncated_after} "
+            f"(+{report.overrun_s:.2f}s over budget)"
+        )
+        print(
+            f"cycle {report.index} {report.workload} seed={report.seed} "
+            f"{report.elapsed_s:.2f}s/{report.budget_s:g}s {status}",
+            flush=True,
+        )
+
+    rounds = daemon.run(on_report=on_report)
+    print(f"stopped after {rounds} round(s)")
     return 0
 
 
@@ -191,6 +264,7 @@ def cmd_matrix(args) -> int:
         jobs=args.jobs,
         cache_dir=None if args.no_cache else args.cache_dir,
         cache_backend=None if args.no_cache else args.cache_backend,
+        profile_source=args.profile_source,
     )
     runner = ExperimentRunner(settings)
     computed = cached = 0
@@ -301,7 +375,11 @@ def build_parser() -> argparse.ArgumentParser:
         choices=strategy_names(),
         default="polm2",
     )
-    p_run.add_argument("--profile", help="allocation profile JSON")
+    p_run.add_argument(
+        "--profile",
+        help="allocation profile: a JSON file path, store://DIR#WORKLOAD, "
+        "or http://host:port/profiles/WORKLOAD/latest (a repro serve)",
+    )
     p_run.add_argument("--duration-ms", type=float, default=60_000.0)
     p_run.add_argument("--seed", type=int, default=42)
     _add_object_scale_option(p_run)
@@ -329,6 +407,73 @@ def build_parser() -> argparse.ArgumentParser:
         help="disable the on-disk result cache",
     )
     p_eval.set_defaults(func=cmd_evaluate)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="run the continuous profiling daemon + profile service",
+    )
+    p_serve.add_argument(
+        "--workloads",
+        default="cassandra-wi",
+        help="comma-separated workloads to profile continuously",
+    )
+    p_serve.add_argument(
+        "--instances",
+        type=int,
+        default=1,
+        help="simulated VM instances per workload (merged per cycle)",
+    )
+    p_serve.add_argument("--seed", type=int, default=42)
+    p_serve.add_argument(
+        "--duration-ms",
+        type=float,
+        default=1_500.0,
+        help="virtual ms profiled per cycle (default 1500)",
+    )
+    p_serve.add_argument(
+        "--cycle-budget-s",
+        type=float,
+        default=60.0,
+        help="wall-clock budget per cycle, post-processing included",
+    )
+    p_serve.add_argument(
+        "--cycles",
+        type=int,
+        default=None,
+        help="rounds to run before exiting (default: until SIGTERM)",
+    )
+    p_serve.add_argument(
+        "--store-dir",
+        default="profile-store",
+        help="content-addressed profile store (and crash-safe state)",
+    )
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        help="HTTP port (default 0: pick an ephemeral port)",
+    )
+    p_serve.add_argument(
+        "--interval-s",
+        type=float,
+        default=0.0,
+        help="idle gap between rounds, seconds",
+    )
+    p_serve.add_argument(
+        "--heap-bytes",
+        type=int,
+        default=None,
+        help="simulated heap size (small heaps promote sooner; "
+        "default: SimConfig default)",
+    )
+    p_serve.add_argument(
+        "--young-bytes",
+        type=int,
+        default=None,
+        help="simulated young-generation size",
+    )
+    p_serve.set_defaults(func=cmd_serve)
 
     from repro.experiments.matrix import HEAP_CONFIGS, SCHEDULER_MODES
 
@@ -385,6 +530,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_matrix.add_argument(
         "--no-cache", action="store_true", help="disable the result cache"
+    )
+    p_matrix.add_argument(
+        "--profile-source",
+        default=os.environ.get("REPRO_PROFILE_SOURCE") or None,
+        metavar="URI",
+        help="fetch profiles from URI ({workload} substituted) instead of "
+        "sweeping profiling cells — e.g. "
+        "http://host:port/profiles/{workload}/latest against a running "
+        "repro serve (default: $REPRO_PROFILE_SOURCE)",
     )
     p_matrix.add_argument("--duration-ms", type=float, default=60_000.0)
     p_matrix.add_argument("--profiling-ms", type=float, default=30_000.0)

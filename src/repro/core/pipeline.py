@@ -27,6 +27,7 @@ from typing import Callable, Dict, List, Optional, Union
 from repro.config import SimConfig
 from repro.core.dumper import Dumper
 from repro.core.profile import AllocationProfile
+from repro.core.profilesource import ProfileSource, resolve_profile
 from repro.core.recorder import Recorder
 from repro.core.stages import LiveVMSource, ProfileBuilder
 from repro.errors import ReproError
@@ -232,14 +233,21 @@ class POLM2Pipeline:
         self,
         strategy: Union[str, StrategySpec],
         duration_ms: float = 60_000.0,
-        profile: Optional[AllocationProfile] = None,
+        profile: Optional[
+            Union[AllocationProfile, str, "ProfileSource"]
+        ] = None,
         label: Optional[str] = None,
     ) -> PhaseResult:
         """Run the workload under one registered (or ad-hoc) strategy.
 
         ``strategy`` is a registry name or a :class:`StrategySpec`.
-        Strategies with ``needs_profile`` require ``profile``.  ``label``
-        overrides the strategy name recorded in the result.
+        Strategies with ``needs_profile`` require ``profile`` — an
+        :class:`AllocationProfile`, a
+        :class:`~repro.core.profilesource.ProfileSource`, or a URI/path
+        string (``file://``, ``store://``, ``http://``) resolved through
+        :func:`~repro.core.profilesource.resolve_profile`, so a
+        production VM can point straight at a running profile service.
+        ``label`` overrides the strategy name recorded in the result.
         """
         spec = (
             strategy
@@ -251,6 +259,8 @@ class POLM2Pipeline:
                 f"strategy {spec.name!r} needs an allocation profile; "
                 "run a profiling phase first or pass a saved profile"
             )
+        if profile is not None and not isinstance(profile, AllocationProfile):
+            profile = resolve_profile(profile)
         # Fresh-process id state: a cell computed here is byte-identical
         # to the same cell computed in a pool worker.
         reset_identity_hashes()

@@ -211,6 +211,12 @@ class AllocationProfile:
         sttree = None
         if payload.get("ir") is not None:
             sttree = STTree.from_payload(payload["ir"])
+            stored_hash = payload["ir"].get("content_hash")
+            if stored_hash is not None and stored_hash != sttree.digest():
+                raise ProfileFormatError(
+                    "embedded STTree content hash mismatch: profile is "
+                    "corrupt, truncated, or was edited by hand"
+                )
         try:
             alloc = [
                 AllocDirective(
@@ -254,7 +260,10 @@ class AllocationProfile:
             raise ProfileFormatError(
                 f"cannot read profile {path!r}: {exc}"
             ) from exc
-        return cls.from_json(text)
+        try:
+            return cls.from_json(text)
+        except ProfileFormatError as exc:
+            raise ProfileFormatError(f"{path}: {exc}") from exc
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -8,18 +8,42 @@ on the client for which the application is running)."
 
 :class:`ProfileStore` is that mechanism: a directory of profile JSON
 files keyed by workload name, with selection at production launch.
+
+The profile *service* (``repro serve``) extends it into a
+content-addressed registry: every committed profile also lands under
+``objects/<content-hash>.profile.json`` and a per-workload pointer file
+``latest/<workload>`` names the hash currently being served.  Pointer
+updates are atomic (unique temp name + ``os.replace``), so concurrent
+readers — the HTTP API, a resuming daemon — never observe a torn write.
 """
 
 from __future__ import annotations
 
+import hashlib
 import os
+import uuid
 from typing import Dict, List, Optional
 
 from repro.core.profile import AllocationProfile
 from repro.core.sttree import STTree
-from repro.errors import ProfileError
+from repro.errors import ProfileError, ProfileFormatError
 
 _SUFFIX = ".profile.json"
+_OBJECTS_DIR = "objects"
+_LATEST_DIR = "latest"
+
+
+def profile_content_hash(profile: AllocationProfile) -> str:
+    """The content-address of a profile.
+
+    IR-bearing profiles are addressed by their STTree digest — two
+    profiles flattened from the same lifetime model share an address
+    regardless of metadata.  Profiles without an IR (hand-built, v1
+    files) fall back to hashing their canonical JSON.
+    """
+    if profile.sttree is not None:
+        return profile.sttree.digest()
+    return hashlib.sha256(profile.to_json().encode()).hexdigest()
 
 
 class ProfileStore:
@@ -33,6 +57,12 @@ class ProfileStore:
         safe = workload.replace(os.sep, "_")
         return os.path.join(self.directory, safe + _SUFFIX)
 
+    def _atomic_write(self, path: str, text: str) -> None:
+        tmp = f"{path}.{os.getpid()}.{uuid.uuid4().hex[:8]}.tmp"
+        with open(tmp, "w") as handle:
+            handle.write(text)
+        os.replace(tmp, path)
+
     # -- writing ------------------------------------------------------------------
 
     def save(self, profile: AllocationProfile) -> str:
@@ -40,6 +70,100 @@ class ProfileStore:
         path = self._path(profile.workload)
         profile.save(path)
         return path
+
+    # -- the content-addressed registry (the profile service's backing) -----------
+
+    def _object_path(self, content_hash: str) -> str:
+        return os.path.join(
+            self.directory, _OBJECTS_DIR, content_hash + _SUFFIX
+        )
+
+    def _latest_path(self, workload: str) -> str:
+        safe = workload.replace(os.sep, "_")
+        return os.path.join(self.directory, _LATEST_DIR, safe)
+
+    def put(self, profile: AllocationProfile, set_latest: bool = True) -> str:
+        """Commit a profile by content address; returns its hash.
+
+        Identical content is written once (the object file is immutable
+        once present).  ``set_latest`` also repoints the workload's
+        ``latest`` pointer at the new hash.
+        """
+        content_hash = profile_content_hash(profile)
+        path = self._object_path(content_hash)
+        if not os.path.exists(path):
+            os.makedirs(os.path.dirname(path), exist_ok=True)
+            self._atomic_write(path, profile.to_json())
+        if set_latest:
+            self.set_latest(profile.workload, content_hash)
+        return content_hash
+
+    def set_latest(self, workload: str, content_hash: str) -> None:
+        """Atomically repoint ``latest/<workload>`` at ``content_hash``."""
+        if not os.path.exists(self._object_path(content_hash)):
+            raise ProfileError(
+                f"cannot set latest {workload!r} pointer: no stored "
+                f"profile object {content_hash}"
+            )
+        path = self._latest_path(workload)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        self._atomic_write(path, content_hash + "\n")
+
+    def latest_hash(self, workload: str) -> Optional[str]:
+        """The content hash ``latest/<workload>`` points at, or None."""
+        try:
+            with open(self._latest_path(workload)) as handle:
+                content_hash = handle.read().strip()
+        except OSError:
+            return None
+        return content_hash or None
+
+    def load_by_hash(self, content_hash: str) -> AllocationProfile:
+        """Load a stored object, verifying it hashes to its address."""
+        path = self._object_path(content_hash)
+        if not os.path.exists(path):
+            raise ProfileError(
+                f"no stored profile object {content_hash} in "
+                f"{self.directory}"
+            )
+        profile = AllocationProfile.load(path)
+        actual = profile_content_hash(profile)
+        if actual != content_hash:
+            raise ProfileFormatError(
+                f"{path}: stored profile hashes to {actual}, not its "
+                f"address {content_hash}; the object file is corrupt"
+            )
+        return profile
+
+    def load_latest(self, workload: str) -> AllocationProfile:
+        """The profile the workload's ``latest`` pointer names."""
+        content_hash = self.latest_hash(workload)
+        if content_hash is None:
+            raise ProfileError(
+                f"no latest profile for workload {workload!r} in "
+                f"{self.directory} (published: {self.latest_workloads()})"
+            )
+        return self.load_by_hash(content_hash)
+
+    def latest_workloads(self) -> List[str]:
+        """Workloads with a ``latest`` pointer."""
+        try:
+            names = os.listdir(os.path.join(self.directory, _LATEST_DIR))
+        except OSError:
+            return []
+        return sorted(name for name in names if not name.endswith(".tmp"))
+
+    def object_hashes(self) -> List[str]:
+        """Every content hash with a stored object."""
+        try:
+            names = os.listdir(os.path.join(self.directory, _OBJECTS_DIR))
+        except OSError:
+            return []
+        return sorted(
+            name[: -len(_SUFFIX)]
+            for name in names
+            if name.endswith(_SUFFIX)
+        )
 
     # -- selection -----------------------------------------------------------------
 

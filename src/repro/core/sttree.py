@@ -137,6 +137,13 @@ class STTree:
     def __init__(self) -> None:
         self.root = STNode(location=None, parent=None)
         self._leaves: List[STNode] = []
+        #: Dedup/join accounting of the most recent ``merge`` that
+        #: produced this tree (zeros on trees built any other way).
+        self.last_merge_stats: Dict[str, int] = {
+            "subtrees_deduped": 0,
+            "leaves_joined": 0,
+            "gen_conflicts": 0,
+        }
 
     # -- construction -------------------------------------------------------------
 
@@ -273,6 +280,146 @@ class STTree:
                 "edited by hand"
             )
         return tree
+
+    # -- merging (the profile service's cross-cycle / cross-VM combine) --------------
+    #
+    # ``merge`` is a semilattice join over leaves keyed by their full
+    # stack path.  Two trees observing the same path join their evidence
+    # by taking the leaf that is maximal under the total order
+    # ``(object_count, target_gen)`` — the existing survival-count rule:
+    # the estimate backed by more observed objects wins, with the higher
+    # generation as the deterministic tie-break.  Because the join is a
+    # max under a total order it is associative, commutative, and
+    # idempotent — merging a profile with itself is the identity, which
+    # is what lets a crash-recovering daemon re-merge a cycle it already
+    # committed without corrupting the served profile.
+    #
+    # Leaves present in only one input are copied through unchanged, and
+    # structurally identical subtrees are detected by their content hash
+    # (the same sha256 IR hashing ``digest()`` uses, applied per node) so
+    # they are copied wholesale instead of walked leaf by leaf — the
+    # common case when many VM instances of one workload report
+    # near-identical trees.
+
+    def merge(self, *others: "STTree") -> "STTree":
+        """Combine this tree with ``others`` into a new tree.
+
+        Returns a fresh :class:`STTree`; the inputs are not modified.
+        ``last_merge_stats`` on the result records how much work the
+        content-hash dedup saved.
+        """
+        stats = {"subtrees_deduped": 0, "leaves_joined": 0, "gen_conflicts": 0}
+        result = STTree()
+        self._copy_children(self.root, result, result.root)
+        for other in others:
+            # The hash memo is keyed by node identity, so it must not
+            # outlive the trees it describes (a freed node's id can be
+            # reused); scope it to the pair being merged.
+            hash_memo: Dict[int, str] = {}
+            target = STTree()
+            self._merge_nodes(
+                result.root, other.root, target, target.root, stats, hash_memo
+            )
+            result = target
+        result.last_merge_stats = stats
+        return result
+
+    @classmethod
+    def merge_all(cls, trees: Sequence["STTree"]) -> "STTree":
+        """Join any number of trees (empty input: an empty tree)."""
+        trees = list(trees)
+        if not trees:
+            return cls()
+        return trees[0].merge(*trees[1:])
+
+    @staticmethod
+    def _subtree_hash(node: STNode, memo: Dict[int, str]) -> str:
+        """Content hash of one subtree (same IR hashing as ``digest``)."""
+        cached = memo.get(id(node))
+        if cached is not None:
+            return cached
+        payload = [
+            list(node.location) if node.location is not None else None,
+            node.is_leaf,
+            node.target_gen if node.is_leaf else 0,
+            node.object_count if node.is_leaf else 0,
+            sorted(
+                STTree._subtree_hash(child, memo)
+                for child in node.children.values()
+            ),
+        ]
+        canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        digest = hashlib.sha256(canonical.encode()).hexdigest()
+        memo[id(node)] = digest
+        return digest
+
+    def _copy_children(
+        self, source: STNode, target_tree: "STTree", target: STNode
+    ) -> None:
+        """Deep-copy ``source``'s subtrees under ``target``."""
+        for (location, is_leaf), child in source.children.items():
+            copied = target.ensure_child(location, is_leaf)
+            if is_leaf:
+                copied.target_gen = child.target_gen
+                copied.object_count = child.object_count
+                target_tree._leaves.append(copied)
+            else:
+                self._copy_children(child, target_tree, copied)
+
+    def _merge_nodes(
+        self,
+        a: STNode,
+        b: STNode,
+        target_tree: "STTree",
+        target: STNode,
+        stats: Dict[str, int],
+        hash_memo: Dict[int, str],
+    ) -> None:
+        """Join the children of ``a`` and ``b`` under ``target``.
+
+        Child keys are visited in sorted order: plan derivation walks
+        children in insertion order, so a merged tree must be built in
+        an order independent of Python's per-process hash seed.
+        """
+        for key in sorted(a.children.keys() | b.children.keys()):
+            location, is_leaf = key
+            in_a = a.children.get(key)
+            in_b = b.children.get(key)
+            if in_a is None or in_b is None:
+                source = in_a if in_a is not None else in_b
+                copied = target.ensure_child(location, is_leaf)
+                if is_leaf:
+                    copied.target_gen = source.target_gen
+                    copied.object_count = source.object_count
+                    target_tree._leaves.append(copied)
+                else:
+                    self._copy_children(source, target_tree, copied)
+                continue
+            if is_leaf:
+                stats["leaves_joined"] += 1
+                if in_a.target_gen != in_b.target_gen:
+                    stats["gen_conflicts"] += 1
+                winner = max(
+                    (in_a, in_b),
+                    key=lambda leaf: (leaf.object_count, leaf.target_gen),
+                )
+                joined = target.ensure_child(location, True)
+                joined.target_gen = winner.target_gen
+                joined.object_count = winner.object_count
+                target_tree._leaves.append(joined)
+                continue
+            if self._subtree_hash(in_a, hash_memo) == self._subtree_hash(
+                in_b, hash_memo
+            ):
+                # Identical subtrees: one wholesale copy, no join walk.
+                stats["subtrees_deduped"] += 1
+                copied = target.ensure_child(location, False)
+                self._copy_children(in_a, target_tree, copied)
+                continue
+            self._merge_nodes(
+                in_a, in_b, target_tree,
+                target.ensure_child(location, False), stats, hash_memo,
+            )
 
     # -- conflict detection (Algorithm 1, Detect Conflicts) -------------------------
 

@@ -714,6 +714,7 @@ def run_sweep(
     jobs: int = 1,
     mode: str = "sharded",
     preloaded: Optional[Mapping[CellKey, PhaseResult]] = None,
+    profile_source: Optional[str] = None,
     clock: Callable[[], float] = time.perf_counter,
 ) -> Iterator[CellResult]:
     """Run every cell of ``spec``, streaming results as they land.
@@ -723,6 +724,16 @@ def run_sweep(
     scheduled only for production cells that actually need computing —
     a cached POLM2 cell never forces its profiling phase — and appear
     in the stream (and the done/total counts) like any other cell.
+
+    ``profile_source`` points profile-consuming production cells at an
+    external profile instead of a swept profiling cell: a profile URI
+    (``http://``, ``store://``, ``file://``) with an optional
+    ``{workload}`` placeholder, e.g.
+    ``http://host:port/profiles/{workload}/latest`` against a running
+    ``repro serve``.  Profiling cells are then skipped entirely, and the
+    sourced production cells bypass the cache both ways — their inputs
+    live outside the cache key, so neither a stale hit nor a poisoned
+    store is possible.
 
     ``mode="sharded"`` (the default) uses the work-stealing scheduler
     with the per-cell DAG; ``mode="wave"`` inserts the legacy global
@@ -740,6 +751,22 @@ def run_sweep(
     preloaded = dict(preloaded or {})
     start = clock()
 
+    sourced_profiles: Dict[str, str] = {}
+    if profile_source is not None:
+        from repro.core.profilesource import profile_source as parse_source
+
+        for workload in sorted(
+            {
+                key.workload
+                for key in spec.production_cells()
+                if get_strategy(key.strategy).needs_profile
+            }
+        ):
+            uri = profile_source.replace("{workload}", workload)
+            sourced_profiles[workload] = (
+                parse_source(uri).resolve().to_json()
+            )
+
     def lookup(key: CellKey) -> Optional[PhaseResult]:
         hit = preloaded.get(key)
         if hit is None and backend is not None:
@@ -755,7 +782,17 @@ def run_sweep(
     production = spec.production_cells()
     hits: List[Tuple[CellKey, PhaseResult]] = []
     pending: List[CellKey] = []
+    sourced_keys = set()
     for key in production:
+        if (
+            sourced_profiles
+            and get_strategy(key.strategy).needs_profile
+        ):
+            # Externally-sourced cells bypass the cache: the served
+            # profile is not part of the cache key.
+            sourced_keys.add(key)
+            pending.append(key)
+            continue
         found = lookup(key)
         if found is not None:
             hits.append((key, found))
@@ -768,6 +805,10 @@ def run_sweep(
         if not get_strategy(key.strategy).needs_profile:
             continue
         prof_key = key.profiling_key()
+        if key in sourced_keys:
+            # The profile comes from the service, not a profiling cell.
+            profiles[prof_key] = sourced_profiles[key.workload]
+            continue
         if prof_key not in blocked:
             blocked[prof_key] = []
             needed_profiling.append(prof_key)
@@ -798,7 +839,7 @@ def run_sweep(
         )
 
     def computed(key: CellKey, result: PhaseResult) -> CellResult:
-        if backend is not None:
+        if backend is not None and key not in sourced_keys:
             # Store *and* commit before the cell is reported done: a
             # killed sweep must resume from every cell it streamed.
             backend.store(key, result)

@@ -126,6 +126,11 @@ class ExperimentSettings:
     #: Cache backend spec (``dir:///PATH`` or ``sqlite:///PATH.db``);
     #: overrides ``cache_dir`` when set.
     cache_backend: Optional[str] = None
+    #: Profile URI template (``{workload}`` substituted) pointing
+    #: profile-consuming sweep cells at an external profile — e.g.
+    #: ``http://host:port/profiles/{workload}/latest`` against a running
+    #: ``repro serve`` — instead of sweeping profiling cells locally.
+    profile_source: Optional[str] = None
 
     @classmethod
     def from_env(cls) -> "ExperimentSettings":
@@ -144,6 +149,7 @@ class ExperimentSettings:
             jobs=_env_int("REPRO_JOBS", 1),
             cache_dir=os.environ.get("REPRO_CACHE_DIR") or None,
             cache_backend=os.environ.get("REPRO_CACHE_BACKEND") or None,
+            profile_source=os.environ.get("REPRO_PROFILE_SOURCE") or None,
         )
 
     @property
@@ -461,6 +467,7 @@ class ExperimentRunner:
             jobs=self.settings.jobs if jobs is None else jobs,
             mode=mode,
             preloaded=preloaded,
+            profile_source=self.settings.profile_source,
         ):
             key = item.key
             if key.is_profiling:

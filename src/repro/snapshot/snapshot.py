@@ -68,6 +68,7 @@ class Snapshot:
         "born_ids",
         "dead_ids",
         "_predecessor",
+        "_predecessor_released",
         "_live_ids",
         # Weak referencing lets the memory-accounting tests observe that
         # the streaming stages really drop snapshots after consuming them.
@@ -102,6 +103,7 @@ class Snapshot:
         self.born_ids = None if born_ids is None else IdSet.coerce(born_ids)
         self.dead_ids = None if dead_ids is None else IdSet.coerce(dead_ids)
         self._predecessor = predecessor
+        self._predecessor_released = False
         self._live_ids = (
             None if live_object_ids is None else IdSet.coerce(live_object_ids)
         )
@@ -132,6 +134,14 @@ class Snapshot:
             chain: List[Snapshot] = []
             node: Optional[Snapshot] = self
             while node is not None and node._live_ids is None:
+                if node._predecessor_released:
+                    from repro.errors import SnapshotError
+
+                    raise SnapshotError(
+                        f"cannot materialize snapshot seq={self.seq}: "
+                        f"seq={node.seq} released its predecessor after "
+                        "the streaming stages consumed it"
+                    )
                 chain.append(node)
                 node = node._predecessor
             live = EMPTY_IDSET if node is None else node._live_ids
@@ -143,6 +153,24 @@ class Snapshot:
     @property
     def live_count(self) -> int:
         return len(self.live_object_ids)
+
+    def release_predecessor(self) -> None:
+        """Drop the reference to the predecessor snapshot.
+
+        The serve-cycle engine calls this once the streaming stages have
+        consumed a chained delta's born/dead sets: nothing downstream
+        re-materializes old images, so keeping the whole chain alive
+        would grow daemon memory by one snapshot per checkpoint — the
+        gprofiler memory-never-drains failure mode.  Materializing an
+        unmaterialized delta after its chain was released raises
+        :class:`~repro.errors.SnapshotError` rather than silently
+        computing a wrong live set.
+        """
+        if self._predecessor is None:
+            return
+        if self._live_ids is None and self.is_delta:
+            self._predecessor_released = True
+        self._predecessor = None
 
     # -- value semantics (the previous frozen-dataclass contract) -------------------
 
@@ -315,6 +343,22 @@ class SnapshotStore:
     def snapshots(self) -> SnapshotView:
         """Immutable, O(1) view of the ordered snapshots."""
         return self._view
+
+    def trim(self, keep_last: int = 1) -> int:
+        """Drop all but the newest ``keep_last`` snapshots; returns the
+        number dropped.
+
+        The serve-cycle engine trims after the streaming stages consume
+        each snapshot so daemon memory stays bounded by the cycle, not
+        the run.  Mutates the list in place — existing views stay
+        coherent.
+        """
+        if keep_last < 0:
+            raise ValueError("keep_last cannot be negative")
+        dropped = max(0, len(self._snapshots) - keep_last)
+        if dropped:
+            del self._snapshots[:dropped]
+        return dropped
 
     def __len__(self) -> int:
         return len(self._snapshots)

@@ -11,13 +11,25 @@ from repro.strategies.spec import (
     unregister_strategy,
 )
 
+# Profile resolution travels with the strategies: a needs_profile
+# strategy's profile can come from a file, a store, or a running
+# ``repro serve`` — whatever the deployment names in a URI.
+from repro.core.profilesource import (  # noqa: E402
+    ProfileSource,
+    profile_source,
+    resolve_profile,
+)
+
 __all__ = [
     "GenerationRotationAgent",
+    "ProfileSource",
     "StrategyContext",
     "StrategySpec",
     "TelemetryAgent",
     "get_strategy",
+    "profile_source",
     "register_strategy",
+    "resolve_profile",
     "strategy_names",
     "unregister_strategy",
 ]

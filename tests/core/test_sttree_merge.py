@@ -1,0 +1,126 @@
+"""STTree.merge: the cross-cycle / cross-VM profile join.
+
+The merge must be a semilattice join — idempotent, commutative,
+associative — because the serve daemon folds cycles into the served
+profile one at a time, in whatever order the fleet delivers them, and
+crash recovery may replay a cycle that was already committed.  The
+property tests pin all three laws on hand-built trees and on the five
+golden parity scenarios' real trees.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.sttree import STTree
+from tests.integration.parity_harness import SCENARIOS, scenario_sttree
+
+A = ("A", "run", 1)
+B = ("B", "call", 2)
+LEAF1 = ("L", "alloc", 10)
+LEAF2 = ("L", "alloc", 11)
+
+
+def tree(*estimates) -> STTree:
+    return STTree.build(estimates)
+
+
+class TestMergeBasics:
+    def test_disjoint_trees_union(self):
+        left = tree(((A, LEAF1), 1, 5))
+        right = tree(((B, LEAF2), 2, 3))
+        merged = left.merge(right)
+        got = {
+            tuple(leaf.path()): (leaf.target_gen, leaf.object_count)
+            for leaf in merged.leaves
+        }
+        assert got == {(A, LEAF1): (1, 5), (B, LEAF2): (2, 3)}
+
+    def test_shared_leaf_joins_by_object_count(self):
+        # Same path, different estimates: the better-supported leaf wins
+        # (the existing survival-count conflict rule).
+        left = tree(((A, LEAF1), 1, 10))
+        right = tree(((A, LEAF1), 2, 3))
+        merged = left.merge(right)
+        (leaf,) = merged.leaves
+        assert (leaf.target_gen, leaf.object_count) == (1, 10)
+        assert merged.last_merge_stats["leaves_joined"] == 1
+        assert merged.last_merge_stats["gen_conflicts"] == 1
+
+    def test_count_tie_resolves_to_higher_generation(self):
+        left = tree(((A, LEAF1), 1, 5))
+        right = tree(((A, LEAF1), 2, 5))
+        assert left.merge(right).leaves[0].target_gen == 2
+        assert right.merge(left).leaves[0].target_gen == 2
+
+    def test_identical_subtrees_dedup_by_content_hash(self):
+        shape = (((A, B, LEAF1), 2, 4), ((A, B, LEAF2), 1, 2))
+        merged = tree(*shape).merge(tree(*shape))
+        assert merged.digest() == tree(*shape).digest()
+        # The shared A subtree is recognized by hash and copied
+        # wholesale instead of being join-walked leaf by leaf.
+        assert merged.last_merge_stats["subtrees_deduped"] == 1
+        assert merged.last_merge_stats["leaves_joined"] == 0
+
+    def test_inputs_not_modified(self):
+        left = tree(((A, LEAF1), 1, 5))
+        right = tree(((A, LEAF1), 2, 9))
+        before = (left.digest(), right.digest())
+        left.merge(right)
+        assert (left.digest(), right.digest()) == before
+
+    def test_merge_all_empty_and_single(self):
+        assert STTree.merge_all([]).digest() == STTree().digest()
+        one = tree(((A, LEAF1), 1, 5))
+        assert STTree.merge_all([one]).digest() == one.digest()
+
+    def test_merged_tree_plan_is_derivable(self):
+        # The merged tree is a full-fledged profile IR: plans derive
+        # from it exactly as from a directly-built tree.
+        left = tree(((A, LEAF1), 1, 5), ((A, B, LEAF2), 2, 2))
+        right = tree(((B, LEAF1), 0, 7))
+        plan = left.merge(right).instrumentation_plan()
+        assert LEAF1 in plan.annotate_sites
+
+
+@pytest.fixture(scope="module")
+def golden_trees():
+    """The five golden parity scenarios' real STTrees."""
+    return [scenario_sttree(*scenario) for scenario in SCENARIOS]
+
+
+class TestMergeLaws:
+    def test_self_merge_is_identity_on_golden_trees(self, golden_trees):
+        for t in golden_trees:
+            assert t.merge(t).digest() == t.digest()
+
+    def test_commutative_on_golden_trees(self, golden_trees):
+        for i, a in enumerate(golden_trees):
+            for b in golden_trees[i + 1 :]:
+                assert a.merge(b).digest() == b.merge(a).digest()
+
+    def test_associative_on_golden_trees(self, golden_trees):
+        a, b, c = golden_trees[:3]
+        assert a.merge(b).merge(c).digest() == a.merge(b.merge(c)).digest()
+        c, d, e = golden_trees[2:]
+        assert c.merge(d).merge(e).digest() == c.merge(d.merge(e)).digest()
+
+    def test_variadic_equals_folded(self, golden_trees):
+        a, b, c, d, e = golden_trees
+        assert (
+            a.merge(b, c, d, e).digest()
+            == a.merge(b).merge(c).merge(d).merge(e).digest()
+        )
+
+    def test_merge_all_of_goldens_is_order_independent(self, golden_trees):
+        forward = STTree.merge_all(golden_trees).digest()
+        backward = STTree.merge_all(list(reversed(golden_trees))).digest()
+        assert forward == backward
+
+    def test_hand_built_laws_with_conflicts(self):
+        a = tree(((A, LEAF1), 1, 5), ((A, B, LEAF2), 2, 1))
+        b = tree(((A, LEAF1), 2, 5), ((B, LEAF1), 0, 9))
+        c = tree(((A, B, LEAF2), 3, 4))
+        assert a.merge(b).digest() == b.merge(a).digest()
+        assert a.merge(b).merge(c).digest() == a.merge(b.merge(c)).digest()
+        assert a.merge(a).digest() == a.digest()

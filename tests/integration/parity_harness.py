@@ -58,15 +58,15 @@ def _sha(payload) -> str:
     return hashlib.sha256(canonical.encode()).hexdigest()
 
 
-def run_scenario(
+def _record_scenario(
     workload_name: str,
     collector_name: str,
     use_remsets: bool,
     seed: int,
     duration_ms: float,
     object_scale: Optional[int] = None,
-) -> Dict:
-    """Run one profiling-phase scenario and return its canonical digest."""
+):
+    """Run one scenario's profiling recording; returns (vm, recorder, dumper)."""
     _reset_identity_hashes()
     scale = resolve_object_scale(object_scale)
     duration_ms *= scale
@@ -89,7 +89,41 @@ def run_scenario(
     while vm.clock.now_ms < duration_ms:
         workload.tick()
     workload.teardown()
+    return vm, recorder, dumper
 
+
+def scenario_sttree(*scenario, object_scale: Optional[int] = None):
+    """The STTree one golden scenario's recording analyzes to.
+
+    Used by the merge property tests: the five parity scenarios double
+    as realistic, structurally diverse trees for checking that
+    ``STTree.merge`` is associative and commutative on real profiles.
+    """
+    _vm, recorder, dumper = _record_scenario(
+        *scenario, object_scale=object_scale
+    )
+    return Analyzer(recorder.records, list(dumper.store)).build_sttree()
+
+
+def run_scenario(
+    workload_name: str,
+    collector_name: str,
+    use_remsets: bool,
+    seed: int,
+    duration_ms: float,
+    object_scale: Optional[int] = None,
+) -> Dict:
+    """Run one profiling-phase scenario and return its canonical digest."""
+    vm, recorder, dumper = _record_scenario(
+        workload_name,
+        collector_name,
+        use_remsets,
+        seed,
+        duration_ms,
+        object_scale,
+    )
+    # The digest payload records the *scaled* duration, as run.
+    duration_ms *= resolve_object_scale(object_scale)
     records = recorder.records
     traces_payload = {
         str(tid): [list(frame) for frame in trace]

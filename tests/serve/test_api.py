@@ -1,0 +1,161 @@
+"""The profile service's HTTP surface."""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.core.profile import AllocationProfile
+from repro.core.profilestore import ProfileStore, profile_content_hash
+from repro.core.sttree import STTree
+from repro.errors import ProfileError
+from repro.serve.api import ProfileService
+
+
+def make_profile(workload: str = "cassandra-wi", gen: int = 1) -> AllocationProfile:
+    tree = STTree.build(
+        [((("A", "run", 1), ("L", "alloc", 10)), gen, 5)]
+    )
+    return AllocationProfile.from_sttree(tree, workload=workload)
+
+
+def get(url: str):
+    with urllib.request.urlopen(url, timeout=10.0) as response:
+        return response.status, dict(response.headers), response.read().decode()
+
+
+def get_error(url: str):
+    try:
+        urllib.request.urlopen(url, timeout=10.0)
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read().decode())
+    raise AssertionError(f"{url} unexpectedly succeeded")
+
+
+@pytest.fixture
+def store(tmp_path) -> ProfileStore:
+    return ProfileStore(str(tmp_path / "store"))
+
+
+class TestProfileRoutes:
+    def test_latest_serves_profile_with_hash_headers(self, store):
+        content_hash = store.put(make_profile())
+        with ProfileService(store) as service:
+            status, headers, body = get(
+                f"{service.url}/profiles/cassandra-wi/latest"
+            )
+        assert status == 200
+        assert headers["X-Profile-Hash"] == content_hash
+        assert headers["ETag"] == f'"{content_hash}"'
+        profile = AllocationProfile.from_json(body)
+        assert profile.workload == "cassandra-wi"
+        assert profile_content_hash(profile) == content_hash
+
+    def test_latest_alias_without_suffix(self, store):
+        store.put(make_profile())
+        with ProfileService(store) as service:
+            status, _, _ = get(f"{service.url}/profiles/cassandra-wi")
+        assert status == 200
+
+    def test_by_hash_serves_immutable_object(self, store):
+        old = store.put(make_profile(gen=1))
+        new = store.put(make_profile(gen=2))
+        assert old != new
+        with ProfileService(store) as service:
+            _, _, body = get(f"{service.url}/profiles/by-hash/{old}")
+        assert profile_content_hash(AllocationProfile.from_json(body)) == old
+
+    def test_missing_workload_404s_with_json_error(self, store):
+        with ProfileService(store) as service:
+            code, payload = get_error(f"{service.url}/profiles/nope/latest")
+        assert code == 404
+        assert "nope" in payload["error"]
+
+    def test_unknown_path_404s(self, store):
+        with ProfileService(store) as service:
+            code, payload = get_error(f"{service.url}/what/is/this")
+        assert code == 404
+        assert "error" in payload
+
+
+class TestMetricsRoute:
+    def test_metrics_round_trips_fn_payload(self, store):
+        payload = {"cycles": {"cycles_run": 3, "overrun_s_total": 1.5}}
+        with ProfileService(store, metrics_fn=lambda: payload) as service:
+            status, _, body = get(f"{service.url}/metrics")
+        assert status == 200
+        assert json.loads(body) == payload
+
+    def test_metrics_defaults_to_empty(self, store):
+        with ProfileService(store) as service:
+            _, _, body = get(f"{service.url}/metrics")
+        assert json.loads(body) == {}
+
+
+class TestRecordingsRoute:
+    def post(self, url: str, body: str):
+        request = urllib.request.Request(
+            f"{url}/recordings",
+            data=body.encode(),
+            headers={"Content-Type": "application/json"},
+            method="POST",
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=10.0) as response:
+                return response.status, json.loads(response.read().decode())
+        except urllib.error.HTTPError as exc:
+            return exc.code, json.loads(exc.read().decode())
+
+    def test_post_routes_body_to_submit_fn(self, store):
+        received = []
+
+        def submit(body: str):
+            received.append(body)
+            return {"ok": True}
+
+        with ProfileService(store, submit_fn=submit) as service:
+            status, payload = self.post(service.url, make_profile().to_json())
+        assert status == 200
+        assert payload == {"ok": True}
+        assert AllocationProfile.from_json(received[0]).workload == "cassandra-wi"
+
+    def test_submit_profile_error_maps_to_400(self, store):
+        def submit(_body: str):
+            raise ProfileError("recording carries no STTree IR")
+
+        with ProfileService(store, submit_fn=submit) as service:
+            status, payload = self.post(service.url, "{}")
+        assert status == 400
+        assert "STTree" in payload["error"]
+
+    def test_no_submit_fn_is_503(self, store):
+        with ProfileService(store) as service:
+            status, _ = self.post(service.url, "{}")
+        assert status == 503
+
+
+class TestLifecycle:
+    def test_port_zero_binds_ephemeral_port(self, store):
+        service = ProfileService(store)
+        url = service.start()
+        try:
+            assert service.port != 0
+            assert url.endswith(str(service.port))
+        finally:
+            service.stop()
+
+    def test_stop_is_idempotent(self, store):
+        service = ProfileService(store)
+        service.start()
+        service.stop()
+        service.stop()
+
+    def test_double_start_raises(self, store):
+        from repro.errors import ReproError
+
+        with ProfileService(store) as service:
+            with pytest.raises(ReproError):
+                service.start()

@@ -1,0 +1,252 @@
+"""ServeDaemon: merge-and-commit cycles, crash-safe resume, HTTP parity.
+
+Pins the PR's acceptance criteria: a profile fetched over HTTP from a
+completed daemon cycle instruments byte-identically to the offline
+ProfileBuilder path, profiles from ≥3 VM instances merge into one STTree
+whose decisions match a pooled single-VM profile, and a killed daemon
+resumes from its persisted cycle state without re-merging committed
+cycles.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import urllib.request
+
+import pytest
+
+from repro.config import SimConfig
+from repro.core.pipeline import POLM2Pipeline
+from repro.core.profile import AllocationProfile
+from repro.core.profilestore import ProfileStore, profile_content_hash
+from repro.core.sttree import STTree
+from repro.serve.daemon import STATE_FILE, ServeConfig, ServeDaemon
+from repro.serve.cycle import ProfilingCycleEngine
+from repro.workloads import make_workload
+
+WORKLOAD = "cassandra-wi"
+SIM_MS = 600.0
+# A reduced heap forces several GC cycles per window, so the short test
+# cycles still observe promotion and produce non-trivial @Gen plans.
+HEAP_BYTES = 16 * 1024 * 1024
+YOUNG_BYTES = 2 * 1024 * 1024
+
+
+def config(tmp_path, **kwargs) -> ServeConfig:
+    defaults = dict(
+        workloads=[WORKLOAD],
+        instances=1,
+        seed=42,
+        sim_duration_ms=SIM_MS,
+        cycle_budget_s=60.0,
+        store_dir=str(tmp_path / "store"),
+        heap_bytes=HEAP_BYTES,
+        young_bytes=YOUNG_BYTES,
+    )
+    defaults.update(kwargs)
+    return ServeConfig(**defaults)
+
+
+def sim_config(seed: int) -> SimConfig:
+    return SimConfig(heap_bytes=HEAP_BYTES, young_bytes=YOUNG_BYTES, seed=seed)
+
+
+def offline_profile(seed: int = 42, duration_ms: float = SIM_MS) -> AllocationProfile:
+    pipeline = POLM2Pipeline(
+        lambda: make_workload(WORKLOAD, seed=seed), config=sim_config(seed)
+    )
+    return pipeline.run_profiling_phase(duration_ms=duration_ms)
+
+
+class TestCycleCommit:
+    def test_round_commits_latest_profile(self, tmp_path):
+        daemon = ServeDaemon(config(tmp_path))
+        reports = daemon.run_round()
+        assert len(reports) == 1 and reports[0].completed
+        store = ProfileStore(str(tmp_path / "store"))
+        latest = store.load_latest(WORKLOAD)
+        assert latest.workload == WORKLOAD
+        assert latest.metadata["source"] == "repro-serve"
+
+    def test_repeat_cycles_are_idempotent_commits(self, tmp_path):
+        # Same seed, same workload: every cycle analyzes to the same
+        # tree, so re-merging never moves the latest pointer.
+        daemon = ServeDaemon(config(tmp_path))
+        daemon.run_round()
+        first = daemon.store.latest_hash(WORKLOAD)
+        daemon.run_round()
+        assert daemon.store.latest_hash(WORKLOAD) == first
+        assert len(daemon.store.object_hashes()) == 1
+
+    def test_truncated_cycle_commits_nothing(self, tmp_path):
+        class DeadClock:
+            """Monotonic clock so slow every budget check fails."""
+
+            def __init__(self) -> None:
+                self.now = 0.0
+
+            def __call__(self) -> float:
+                self.now += 1_000.0
+                return self.now
+
+        daemon = ServeDaemon(config(tmp_path), clock=DeadClock())
+        (report,) = daemon.run_round()
+        assert report.truncated
+        assert daemon.store.latest_hash(WORKLOAD) is None
+        assert daemon.metrics()["cycles"]["cycles_truncated"] == 1
+
+
+class TestHttpParity:
+    def test_served_profile_instruments_identically_to_offline(self, tmp_path):
+        # The acceptance criterion: fetch the profile over HTTP after
+        # one daemon cycle, and its @Gen / setGeneration directives are
+        # byte-identical to the offline ProfileBuilder path.
+        daemon = ServeDaemon(config(tmp_path))
+        daemon.run_round()
+        url = daemon.start_service()
+        try:
+            with urllib.request.urlopen(
+                f"{url}/profiles/{WORKLOAD}/latest", timeout=10.0
+            ) as response:
+                served = AllocationProfile.from_json(response.read().decode())
+        finally:
+            daemon.stop_service()
+        offline = offline_profile()
+        assert served.sttree.digest() == offline.sttree.digest()
+        assert served.alloc_directives  # non-trivial: promotion seen
+        assert served.alloc_directives == offline.alloc_directives
+        assert served.call_directives == offline.call_directives
+
+    def test_metrics_expose_budget_and_vm_telemetry(self, tmp_path):
+        daemon = ServeDaemon(config(tmp_path))
+        daemon.run_round()
+        url = daemon.start_service()
+        try:
+            with urllib.request.urlopen(f"{url}/metrics", timeout=10.0) as r:
+                metrics = json.loads(r.read().decode())
+        finally:
+            daemon.stop_service()
+        assert metrics["cycles"]["cycles_run"] == 1
+        assert metrics["cycles"]["cycles_truncated"] == 0
+        assert metrics["cycles"]["overrun_s_total"] == 0.0
+        assert metrics["service"]["cycle_budget_s"] == 60.0
+        assert metrics["profiles"][WORKLOAD]["cycles_committed"] == 1
+        assert metrics["profiles"][WORKLOAD]["latest_hash"] is not None
+        assert metrics["vm_telemetry"]  # TelemetryAgent counters present
+
+    def test_post_recording_merges_into_latest(self, tmp_path):
+        daemon = ServeDaemon(config(tmp_path))
+        url = daemon.start_service()
+        try:
+            body = offline_profile().to_json().encode()
+            request = urllib.request.Request(
+                f"{url}/recordings", data=body, method="POST"
+            )
+            with urllib.request.urlopen(request, timeout=10.0) as response:
+                payload = json.loads(response.read().decode())
+        finally:
+            daemon.stop_service()
+        assert payload["workload"] == WORKLOAD
+        assert payload["latest_hash"] == daemon.store.latest_hash(WORKLOAD)
+        assert daemon.metrics()["cycles"]["recordings_received"] == 1
+
+
+class TestMultiVMMerge:
+    def test_three_instances_merge_matches_pooled_single_vm(self, tmp_path):
+        # ≥3 concurrently-simulated VM instances of the same workload
+        # (seeds 42/43/44) merge into one STTree whose instrumentation
+        # decisions match a single profile over the pooled recording.
+        daemon = ServeDaemon(config(tmp_path, instances=3))
+        reports = daemon.run_round()
+        assert [r.seed for r in reports] == [42, 43, 44]
+        merged = daemon.store.load_latest(WORKLOAD).sttree
+
+        pooled = STTree()
+        for seed in (42, 43, 44):
+            engine = ProfilingCycleEngine(
+                WORKLOAD,
+                seed=seed,
+                config=sim_config(seed),
+                sim_duration_ms=SIM_MS,
+                budget_s=60.0,
+            )
+            for leaf in engine.run_cycle().tree.leaves:
+                pooled.insert(leaf.path(), leaf.target_gen, leaf.object_count)
+
+        merged_plan = merged.instrumentation_plan()
+        pooled_plan = pooled.instrumentation_plan()
+        assert merged_plan.annotate_sites  # non-trivial: promotion seen
+        assert sorted(merged_plan.annotate_sites) == sorted(
+            pooled_plan.annotate_sites
+        )
+        assert merged_plan.call_directives == pooled_plan.call_directives
+        assert merged_plan.alloc_brackets == pooled_plan.alloc_brackets
+
+
+class TestCrashSafety:
+    def test_state_file_written_atomically_per_round(self, tmp_path):
+        daemon = ServeDaemon(config(tmp_path))
+        daemon.run_round()
+        state_path = os.path.join(str(tmp_path / "store"), STATE_FILE)
+        state = json.load(open(state_path))
+        assert state["workloads"][WORKLOAD]["cycles_committed"] == 1
+        assert (
+            state["workloads"][WORKLOAD]["latest_hash"]
+            == daemon.store.latest_hash(WORKLOAD)
+        )
+        # No leftover temp files from the atomic-write pattern.
+        leftovers = [
+            name
+            for name in os.listdir(str(tmp_path / "store"))
+            if name.endswith(".tmp")
+        ]
+        assert leftovers == []
+
+    def test_killed_daemon_resumes_without_remerging(self, tmp_path):
+        first = ServeDaemon(config(tmp_path))
+        first.run_round()
+        first.run_round()
+        committed_hash = first.store.latest_hash(WORKLOAD)
+        # A new incarnation (the old one is simply abandoned, as after a
+        # kill) picks up the committed state: cycle indices continue and
+        # the latest pointer is untouched until a new cycle commits.
+        second = ServeDaemon(config(tmp_path))
+        assert second.cycles_committed[WORKLOAD] == 2
+        (report,) = second.run_round()
+        assert report.index == 2
+        assert second.store.latest_hash(WORKLOAD) == committed_hash
+        assert second.metrics()["cycles"]["cycles_run"] == 3  # 2 restored + 1
+
+    def test_resume_reloads_merge_accumulator_from_store(self, tmp_path):
+        first = ServeDaemon(config(tmp_path))
+        first.run_round()
+        second = ServeDaemon(config(tmp_path))
+        tree = second._latest_tree[WORKLOAD]
+        assert tree.digest() == profile_content_hash(
+            second.store.load_latest(WORKLOAD)
+        )
+
+    def test_corrupt_state_file_is_a_one_line_error(self, tmp_path):
+        from repro.errors import ProfileFormatError
+
+        cfg = config(tmp_path)
+        ServeDaemon(cfg).run_round()
+        state_path = os.path.join(cfg.store_dir, STATE_FILE)
+        open(state_path, "w").write("{not json")
+        with pytest.raises(ProfileFormatError) as excinfo:
+            ServeDaemon(cfg)
+        assert state_path in str(excinfo.value)
+
+
+class TestDriveLoop:
+    def test_run_respects_max_rounds_and_stop(self, tmp_path):
+        daemon = ServeDaemon(config(tmp_path))
+        assert daemon.run(max_rounds=2, serve_http=False) == 2
+        daemon.request_stop()
+        assert daemon.run(max_rounds=5, serve_http=False) == 0
+
+    def test_run_starts_and_stops_http(self, tmp_path):
+        daemon = ServeDaemon(config(tmp_path))
+        daemon.run(max_rounds=1)
+        assert daemon.service is None  # stopped on exit
