@@ -262,6 +262,32 @@ class Recorder(VMAgent):
             # the paper accepts in exchange for offline analysis.
             self.vm.clock.advance_us(self.vm.config.costs.record_log_us)
 
+    def on_allocation_batch(self, event) -> None:
+        """Log a whole quiet run: one stream extend instead of N appends.
+
+        Byte-for-byte equivalent to ``count`` :meth:`on_allocation` calls:
+        object ids in a batch are consecutive from ``first_object_id``,
+        and the per-allocation logging cost still advances the clock once
+        per object (float accumulation is not associative).
+        """
+        vm_trace_id = event.trace_id
+        if vm_trace_id:
+            record_id = self._record_ids_by_vm_trace.get(vm_trace_id)
+            if record_id is None:
+                record_id = self.records.intern_trace(event.trace)
+                self._record_ids_by_vm_trace[vm_trace_id] = record_id
+        else:
+            record_id = self.records.intern_trace(event.trace)
+        first = event.first_object_id
+        self.records.streams[record_id].extend(
+            array("q", range(first, first + event.count))
+        )
+        if self.vm is not None:
+            advance = self.vm.clock.advance_us
+            cost = self.vm.config.costs.record_log_us
+            for _ in range(event.count):
+                advance(cost)
+
     # -- GC cycle callback ----------------------------------------------------------------
 
     def on_gc_end(self, event: GCEndEvent) -> None:

@@ -8,7 +8,7 @@ from repro.config import PAGE_SIZE, REGION_SIZE, YOUNG_GEN, SimConfig
 from repro.core.idset import IdSet
 from repro.errors import OutOfMemoryError, UnknownGenerationError
 from repro.heap.evacuation import EvacuationPlan
-from repro.heap.objects import HeapObject
+from repro.heap.objects import HeapObject, reserve_identity_hashes
 from repro.heap.page import PageTable
 from repro.heap.region import Region
 from repro.heap.space import Generation
@@ -225,6 +225,52 @@ class SimHeap:
         self.total_allocated_bytes += size
         self.total_allocated_objects += 1
         return obj
+
+    def allocate_batch(
+        self,
+        sizes,
+        starts,
+        start: int,
+        stop: int,
+        gen_id: int = YOUNG_GEN,
+        site_id: int = 0,
+        trace_id: int = 0,
+        birth_cycle: int = 0,
+        materialize: bool = False,
+    ) -> Tuple[int, Optional[List[HeapObject]]]:
+        """Bulk-allocate batch objects ``[start, stop)`` into ``gen_id``.
+
+        The columnar fast path behind :meth:`allocate`: one consecutive
+        identity-hash block is reserved for the run, the generation
+        extends its region columns chunk-wise, and no :class:`HeapObject`
+        is boxed unless ``materialize`` asks for views (which then carry
+        the given ``trace_id``/``birth_cycle``, exactly as scalar
+        allocation would have stamped them).  Objects must each fit in a
+        region (the caller routes humongous sizes through the scalar
+        path).  Returns ``(first_object_id, views_or_None)``.
+        """
+        gen = self.generation(gen_id)
+        count = stop - start
+        first_id = reserve_identity_hashes(count)
+        chunks = gen.allocate_batch(
+            self.page_table, first_id - start, sizes, starts, start, stop,
+            site_id,
+        )
+        total = starts[stop - 1] + sizes[stop - 1] - starts[start]
+        self.total_allocated_bytes += total
+        self.total_allocated_objects += count
+        views: Optional[List[HeapObject]] = None
+        if materialize:
+            views = []
+            append = views.append
+            for region, base_slot, a, b in chunks:
+                view_at = region.view_at
+                for slot in range(base_slot, base_slot + (b - a)):
+                    view = view_at(slot)
+                    view.trace_id = trace_id
+                    view.birth_cycle = birth_cycle
+                    append(view)
+        return first_id, views
 
     # -- humongous objects -----------------------------------------------------------
 
@@ -482,6 +528,10 @@ class SimHeap:
                     survivor_bytes += placed
                 if dest_gen_id != YOUNG_GEN:
                     for obj in region.objects[start:stop]:
+                        if obj is None:
+                            # Lazy batch placeholder: never materialized,
+                            # so it cannot hold outgoing references.
+                            continue
                         for child in obj._refs:
                             if child.gen_id == YOUNG_GEN:
                                 # Promotion created an old->young edge.
@@ -595,18 +645,18 @@ class SimHeap:
                 f"gen {gen.name}: accounted {gen.used_bytes} != {actual}"
             )
             for region in gen.regions:
-                extent = sum(obj.size for obj in region.objects)
+                extent = sum(region._sizes)
                 assert extent == region.top, (
                     f"region {region.index}: objects span {extent} bytes "
                     f"but bump pointer is {region.top}"
                 )
-                cursor = region.base
-                for obj in region.objects:
-                    assert obj.address == cursor, (
-                        f"object {obj.object_id} at {obj.address:#x}, "
-                        f"expected {cursor:#x}"
+                cursor = 0
+                for slot in range(len(region._offsets)):
+                    assert region._offsets[slot] == cursor, (
+                        f"region {region.index} slot {slot}: offset "
+                        f"{region._offsets[slot]}, expected {cursor}"
                     )
-                    cursor += obj.size
+                    cursor += region._sizes[slot]
                 self._verify_region_columns(region)
         for region in self._free_regions:
             assert not region.objects and len(region._ids) == 0, (
@@ -616,11 +666,16 @@ class SimHeap:
         # with a from-scratch recount of every object present in the heap
         # (live or dead — occupancy is presence, not reachability).
         expected = [0] * self.page_table.num_pages
+        page_size = self.page_size
         for region in self._regions:
-            for obj in region.objects:
-                if obj.address < 0:
-                    continue
-                for page in obj.page_span(self.page_size):
+            base = region.base
+            offsets = region._offsets
+            region_sizes = region._sizes
+            for slot in range(len(offsets)):
+                address = base + offsets[slot]
+                first = address // page_size
+                last = (address + region_sizes[slot] - 1) // page_size
+                for page in range(first, last + 1):
                     expected[page] += 1
         actual_occupancy = self.page_table.occupancy_snapshot()
         assert actual_occupancy == expected, (
@@ -661,6 +716,9 @@ class SimHeap:
         base = region.base
         gen_id = region.gen_id
         for slot, obj in enumerate(region.objects):
+            if obj is None:
+                # Lazy batch placeholder: the columns alone describe it.
+                continue
             assert obj._region is region and obj._slot == slot, (
                 f"object {obj.object_id} view points at "
                 f"({obj._region and obj._region.index}, {obj._slot}), "

@@ -20,13 +20,12 @@ preserves the historical stale-read semantics floating garbage relies on.
 
 from __future__ import annotations
 
-import itertools
 from typing import Iterable, Iterator, List
 
 #: Size in bytes of an object header (mark word + class word on HotSpot).
 HEADER_BYTES = 16
 
-_identity_hash_counter = itertools.count(1)
+_next_identity_hash = 1
 
 
 def next_identity_hash() -> int:
@@ -37,7 +36,24 @@ def next_identity_hash() -> int:
     preserves the property the Analyzer relies on (paper §4.3): the id of
     an object is stable across promotion and compaction.
     """
-    return next(_identity_hash_counter)
+    global _next_identity_hash
+    value = _next_identity_hash
+    _next_identity_hash = value + 1
+    return value
+
+
+def reserve_identity_hashes(count: int) -> int:
+    """Reserve ``count`` consecutive identity hashes; returns the first.
+
+    The batched allocation front-end assigns ids to a whole homogeneous
+    batch at once; drawing them as one block keeps the id sequence
+    identical to ``count`` scalar allocations (consecutive, in allocation
+    order), which the recorder streams and golden digests depend on.
+    """
+    global _next_identity_hash
+    first = _next_identity_hash
+    _next_identity_hash = first + count
+    return first
 
 
 class HeapObject:
@@ -107,6 +123,40 @@ class HeapObject:
         self._refs: List[HeapObject] = []
         self._region = None
         self._slot = -1
+
+    @classmethod
+    def from_columns(
+        cls,
+        object_id: int,
+        size: int,
+        site_id: int,
+        age: int,
+        gen_id: int,
+        address: int,
+    ) -> "HeapObject":
+        """Materialize a view for a lazily allocated slot.
+
+        Batch allocation without refs or roots leaves ``None`` placeholders
+        in ``Region.objects`` (the object is garbage from birth, so nothing
+        can reach it); this constructor rebuilds a view from the region
+        columns *without* drawing a fresh identity hash.  ``trace_id`` and
+        ``birth_cycle`` are not column-mirrored and come back as 0.
+        """
+        view = cls.__new__(cls)
+        view.object_id = object_id
+        view.class_id = 0
+        view.size = size
+        view.site_id = site_id
+        view.trace_id = 0
+        view.gen_id = gen_id
+        view.address = address
+        view._age = age
+        view.birth_cycle = 0
+        view.mark_epoch = 0
+        view._refs = []
+        view._region = None
+        view._slot = -1
+        return view
 
     @property
     def age(self) -> int:
@@ -186,8 +236,8 @@ def reset_identity_hashes() -> None:
     worker process — the sweep scheduler's cross-mode parity contract.
     Also used by tests to keep id expectations readable.
     """
-    global _identity_hash_counter
-    _identity_hash_counter = itertools.count(1)
+    global _next_identity_hash
+    _next_identity_hash = 1
 
 
 # Backwards-compatible alias (the parity harness predates the rename).

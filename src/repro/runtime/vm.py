@@ -2,6 +2,10 @@
 
 from __future__ import annotations
 
+import warnings
+from array import array
+from bisect import bisect_right
+from itertools import accumulate
 from typing import Callable, Iterator, List, Optional, Sequence, TYPE_CHECKING
 
 from repro.config import SimConfig
@@ -14,8 +18,10 @@ from repro.runtime.code import AllocSite, SiteRegistry
 from repro.runtime.events import (
     AGENT_HOOKS,
     ALLOCATION,
+    ALLOCATION_BATCH,
     CLASS_LOAD,
     SAFEPOINT,
+    AllocationBatchEvent,
     ClassLoadEvent,
     EventBus,
     SafepointEvent,
@@ -62,6 +68,15 @@ class VM:
         self._alloc_listeners: List[AllocListener] = self.events.listener_list(
             ALLOCATION
         )
+        #: Same hot-path aliasing for the batched front-end's event list.
+        self._batch_alloc_listeners: List[Callable] = self.events.listener_list(
+            ALLOCATION_BATCH
+        )
+        #: ALLOCATION subscribers with no batch hook (legacy shims, agents
+        #: defining only ``on_allocation``).  While any exist,
+        #: ``allocate_batch`` on a record-hooked site falls back to scalar
+        #: dispatch so no subscriber ever misses an allocation.
+        self._scalar_only_alloc_listeners = 0
         self._agents: List = []
         self.classloader.on_loaded = self._publish_class_load
         self.ops_completed = 0
@@ -106,6 +121,10 @@ class VM:
             hook = getattr(agent, hook_name, None)
             if callable(hook):
                 self.events.subscribe(kind, hook)
+        if callable(getattr(agent, "on_allocation", None)) and not callable(
+            getattr(agent, "on_allocation_batch", None)
+        ):
+            self._scalar_only_alloc_listeners += 1
         self._agents.append(agent)
 
     def detach_agent(self, agent) -> None:
@@ -117,6 +136,10 @@ class VM:
             hook = getattr(agent, hook_name, None)
             if callable(hook):
                 self.events.unsubscribe(kind, hook)
+        if callable(getattr(agent, "on_allocation", None)) and not callable(
+            getattr(agent, "on_allocation_batch", None)
+        ):
+            self._scalar_only_alloc_listeners -= 1
         if callable(getattr(agent, "transform", None)):
             self.classloader.remove_transformer(agent)
         on_detach = getattr(agent, "on_detach", None)
@@ -143,10 +166,25 @@ class VM:
 
     def add_alloc_listener(self, listener: AllocListener) -> None:
         """Deprecated seam: subscribe to ALLOCATION on :attr:`events`."""
+        warnings.warn(
+            "VM.add_alloc_listener is deprecated; subscribe to ALLOCATION "
+            "on vm.events, or attach a VMAgent defining on_allocation",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         self.events.subscribe(ALLOCATION, listener)
+        # A bare callable has no batch hook: keep allocate_batch honest.
+        self._scalar_only_alloc_listeners += 1
 
     def remove_alloc_listener(self, listener: AllocListener) -> None:
+        warnings.warn(
+            "VM.remove_alloc_listener is deprecated; unsubscribe from "
+            "ALLOCATION on vm.events",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         self.events.unsubscribe(ALLOCATION, listener)
+        self._scalar_only_alloc_listeners -= 1
 
     # -- roots ----------------------------------------------------------------------
 
@@ -207,19 +245,219 @@ class VM:
                 listener(obj, site, trace)
         return obj
 
+    def allocate_batch(
+        self,
+        thread: SimThread,
+        site: AllocSite,
+        sizes: Sequence[int],
+        pretenure_index: int = 0,
+        link_from: Optional[HeapObject] = None,
+        materialize: bool = False,
+    ) -> Optional[List[HeapObject]]:
+        """Allocate a homogeneous batch through one site (the fast path).
+
+        Observably equivalent — addresses, region claims, GC triggers,
+        clock charges, recorder streams, remembered sets — to
+
+        .. code-block:: python
+
+            for size in sizes:
+                obj = vm.allocate_at_site(thread, site, size, pretenure_index)
+                if link_from is not None:
+                    vm.heap.write_ref(link_from, obj)
+
+        but amortized: site id, interned trace, and generation resolve
+        once per quiet run, collector hooks are charged per run (each run
+        opens with one *real* ``before_allocation``; the skipped calls are
+        proven no-ops by :meth:`~repro.gc.base.GenerationalCollector
+        .batch_headroom`), the heap extends region columns in bulk without
+        boxing a ``HeapObject`` per allocation, and one
+        :class:`AllocationBatchEvent` per run replaces per-object listener
+        dispatch.  Per-allocation *clock* charges still loop per object —
+        the virtual clock is a float accumulator, and one ``n×cost`` add
+        is not byte-identical to ``n`` adds of ``cost``.
+
+        Falls back to the scalar path whenever batching could be observed:
+        scalar-only ALLOCATION subscribers on a record-hooked site,
+        over-region-size (humongous) objects, ``link_from`` while Merlin
+        ref-write listeners are attached, and pretenured record-hooked
+        batches (whose pretenure and logging clock charges interleave).
+
+        Returns the allocated objects when ``materialize`` is true, else
+        ``None`` (object views are built lazily, on demand).
+        """
+        collector = self.collector
+        if collector is None:
+            raise OutOfMemoryError("no collector attached to the VM")
+        n = len(sizes)
+        if n == 0:
+            return [] if materialize else None
+        heap = self.heap
+        sizes_arr = sizes if isinstance(sizes, array) else array("q", sizes)
+        max_size = max(sizes_arr)
+        record_hook = site.record_hook
+        if (
+            max_size > heap.region_size
+            or (record_hook and self._scalar_only_alloc_listeners > 0)
+            or (link_from is not None and heap.ref_write_listeners)
+            or (
+                pretenure_index != 0
+                and record_hook
+                and (self._alloc_listeners or self._batch_alloc_listeners)
+            )
+        ):
+            out = []
+            write_ref = heap.write_ref
+            for size in sizes_arr:
+                obj = self.allocate_at_site(thread, site, size, pretenure_index)
+                if link_from is not None:
+                    write_ref(link_from, obj)
+                out.append(obj)
+            return out if materialize else None
+        site_id = site.cached_site_id
+        if site_id == 0:
+            site_id = self.sites.site_id(site.location)
+            site.cached_site_id = site_id
+        trace: tuple = ()
+        trace_id = 0
+        batch_listeners = self._batch_alloc_listeners
+        if record_hook and batch_listeners:
+            # The stack cannot change mid-batch (no frame push/pop), so
+            # the interned trace resolves once for the whole batch.
+            token = thread.stack_token
+            if site.cached_trace_token == token:
+                trace = site.cached_trace
+                trace_id = site.cached_trace_id
+            else:
+                trace = thread.current_stack_trace()
+                trace_id = self.sites.trace_id(trace)
+                site.cached_trace = trace
+                site.cached_trace_id = trace_id
+                site.cached_trace_token = token
+        ends = array("q", accumulate(sizes_arr))
+        starts = array("q", (0,))
+        starts.extend(ends[: n - 1])
+        views: Optional[List[HeapObject]] = (
+            [] if (materialize or link_from is not None) else None
+        )
+        clock = self.clock
+        costs = self.config.costs
+        region_size = heap.region_size
+        p = 0
+        while p < n:
+            collector.before_allocation(sizes_arr[p])
+            gen_id = collector.resolve_allocation_gen(pretenure_index)
+            quiet, spare = collector.batch_headroom(gen_id, max_size)
+            if spare < 0:
+                spare = 0
+            room = heap.generation(gen_id).bump_room()
+            # Capacity usable with at most ``spare`` fresh-region claims:
+            # each region abandoned mid-run wastes at most max_size - 1
+            # bytes (the tail too small for the object that triggered the
+            # claim), hence the max_size haircuts.
+            cap = (room - max_size if room > max_size else 0) + spare * (
+                region_size - max_size
+            )
+            budget = quiet if quiet < cap else cap
+            q = p
+            if budget >= sizes_arr[p]:
+                q = bisect_right(ends, starts[p] + budget, p, n)
+            if q > p:
+                first_id, run_views = heap.allocate_batch(
+                    sizes_arr,
+                    starts,
+                    p,
+                    q,
+                    gen_id,
+                    site_id=site_id,
+                    trace_id=trace_id,
+                    birth_cycle=collector.cycles,
+                    materialize=views is not None,
+                )
+                if gen_id != 0:
+                    kib_cost = costs.pretenure_alloc_kib_us
+                    for i in range(p, q):
+                        clock.advance_us(kib_cost * (sizes_arr[i] / 1024.0))
+                collector.after_allocation(ends[q - 1] - starts[p], gen_id)
+                if record_hook and batch_listeners:
+                    event = AllocationBatchEvent(
+                        site=site,
+                        trace=trace,
+                        trace_id=trace_id,
+                        first_object_id=first_id,
+                        count=q - p,
+                        sizes=sizes_arr[p:q],
+                        gen_id=gen_id,
+                    )
+                    for listener in batch_listeners:
+                        listener(event)
+                if views is not None:
+                    views.extend(run_views)
+                    if link_from is not None:
+                        write_ref = heap.write_ref
+                        for obj in run_views:
+                            write_ref(link_from, obj)
+                p = q
+            else:
+                # No quiet headroom: one object the scalar way, reusing
+                # the real before_allocation that just ran.
+                size = sizes_arr[p]
+                try:
+                    obj = self._heap_alloc(size, gen_id, site_id, trace_id, ())
+                except OutOfMemoryError:
+                    collector.handle_oom()
+                    obj = self._heap_alloc(size, gen_id, site_id, trace_id, ())
+                if gen_id != 0:
+                    clock.advance_us(
+                        costs.pretenure_alloc_kib_us * (size / 1024.0)
+                    )
+                collector.after_allocation(size, gen_id)
+                if record_hook and batch_listeners:
+                    event = AllocationBatchEvent(
+                        site=site,
+                        trace=trace,
+                        trace_id=trace_id,
+                        first_object_id=obj.object_id,
+                        count=1,
+                        sizes=sizes_arr[p : p + 1],
+                        gen_id=gen_id,
+                    )
+                    for listener in batch_listeners:
+                        listener(event)
+                if views is not None:
+                    views.append(obj)
+                    if link_from is not None:
+                        heap.write_ref(link_from, obj)
+                p += 1
+        return views if materialize else None
+
     def allocate_anonymous(
         self, size: int, refs: Sequence[HeapObject] = ()
     ) -> HeapObject:
-        """Allocate outside any modelled site (JDK-internal noise)."""
+        """Allocate outside any modelled site (JDK-internal noise).
+
+        Charged exactly like :meth:`allocate_at_site` minus the site
+        machinery: the slow-path pretenure cost and the collector's
+        ``after_allocation`` accounting apply here too (they were
+        historically skipped, which let anonymous allocations dodge
+        NG2C's pretenured-byte budget).
+        """
         if self.collector is None:
             raise OutOfMemoryError("no collector attached to the VM")
         self.collector.before_allocation(size)
         gen_id = self.collector.resolve_allocation_gen(0)
         try:
-            return self._heap_alloc(size, gen_id, 0, 0, refs)
+            obj = self._heap_alloc(size, gen_id, 0, 0, refs)
         except OutOfMemoryError:
             self.collector.handle_oom()
-            return self._heap_alloc(size, gen_id, 0, 0, refs)
+            obj = self._heap_alloc(size, gen_id, 0, 0, refs)
+        if gen_id != 0:
+            # Pretenured allocation takes the non-TLAB slow path.
+            self.clock.advance_us(
+                self.config.costs.pretenure_alloc_kib_us * (size / 1024.0)
+            )
+        self.collector.after_allocation(size, gen_id)
+        return obj
 
     def _heap_alloc(
         self,

@@ -149,12 +149,12 @@ class CassandraStore:
         sstable = self.vm.allocate_anonymous(64)
         index_entries = max(1, self.memtable_rows // self.params.rows_per_index_entry)
         bloom_pages = max(1, self.memtable_rows // self.params.rows_per_bloom_page)
-        for _ in range(index_entries):
-            entry = thread.alloc(cm.L_FLUSH_ALLOC_INDEX, keep=False)
-            heap.write_ref(sstable, entry)
-        for _ in range(bloom_pages):
-            page = thread.alloc(cm.L_FLUSH_ALLOC_BLOOM, keep=False)
-            heap.write_ref(sstable, page)
+        thread.alloc_batch(
+            cm.L_FLUSH_ALLOC_INDEX, count=index_entries, link_from=sstable
+        )
+        thread.alloc_batch(
+            cm.L_FLUSH_ALLOC_BLOOM, count=bloom_pages, link_from=sstable
+        )
         meta = thread.alloc(cm.L_FLUSH_ALLOC_META, keep=False)
         heap.write_ref(sstable, meta)
         heap.write_ref(self.sstables_obj, sstable)

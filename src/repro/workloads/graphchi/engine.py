@@ -91,14 +91,18 @@ class GraphEngine:
         holder = self.vm.allocate_anonymous(64)
         heap.write_ref(self.engine_root, holder)
         with thread.call(cm.L_RUN_CALL_INIT, cm.VERTEX_DATA, "init"):
-            for _ in range(self.params.value_chunks):
-                chunk = thread.alloc(cm.L_INIT_ALLOC_VALUES, keep=False)
-                heap.write_ref(holder, chunk)
+            thread.alloc_batch(
+                cm.L_INIT_ALLOC_VALUES,
+                count=self.params.value_chunks,
+                link_from=holder,
+            )
             # One partition/index table per interval (GraphChi keeps the
             # shard indexes resident for the whole computation).
-            for _ in range(max(16, len(self.batches))):
-                table = thread.alloc(cm.L_INIT_ALLOC_PARTITIONS, keep=False)
-                heap.write_ref(holder, table)
+            thread.alloc_batch(
+                cm.L_INIT_ALLOC_PARTITIONS,
+                count=max(16, len(self.batches)),
+                link_from=holder,
+            )
         self.values_holder = holder
 
     # -- engine stepping --------------------------------------------------------------
@@ -126,20 +130,23 @@ class GraphEngine:
         heap.write_ref(self.engine_root, holder)
         with thread.call(cm.L_RUN_CALL_LOAD, cm.SHARD, "loadBatch"):
             vertex_blocks = max(1, len(batch) * 24 // cm.SIZE_VERTEX_BLOCK)
-            for _ in range(vertex_blocks):
-                heap.write_ref(
-                    holder, thread.alloc(cm.L_LOAD_ALLOC_VERTEX_BLOCK, keep=False)
-                )
+            thread.alloc_batch(
+                cm.L_LOAD_ALLOC_VERTEX_BLOCK,
+                count=vertex_blocks,
+                link_from=holder,
+            )
             heap.write_ref(
                 holder, thread.alloc(cm.L_LOAD_ALLOC_VERTEX_INDEX, keep=False)
             )
             degree_blocks = max(1, len(batch) * 8 // cm.SIZE_DEGREE_BLOCK)
-            for _ in range(degree_blocks):
-                heap.write_ref(
-                    holder, thread.alloc(cm.L_LOAD_ALLOC_DEGREE_BLOCK, keep=False)
-                )
+            thread.alloc_batch(
+                cm.L_LOAD_ALLOC_DEGREE_BLOCK,
+                count=degree_blocks,
+                link_from=holder,
+            )
             edge_bytes = edges * self.params.bytes_per_edge
             edge_blocks = max(1, edge_bytes // (2 * cm.SIZE_EDGE_BLOCK))
+            # In/out edge blocks alternate sites each iteration — scalar.
             for _ in range(edge_blocks):
                 heap.write_ref(
                     holder, thread.alloc(cm.L_LOAD_ALLOC_IN_EDGES, keep=False)
@@ -148,17 +155,13 @@ class GraphEngine:
                     holder, thread.alloc(cm.L_LOAD_ALLOC_OUT_EDGES, keep=False)
                 )
             data_blocks = max(1, edge_bytes // (2 * cm.SIZE_EDGE_DATA))
-            for _ in range(data_blocks):
-                heap.write_ref(
-                    holder, thread.alloc(cm.L_LOAD_ALLOC_EDGE_DATA, keep=False)
-                )
+            thread.alloc_batch(
+                cm.L_LOAD_ALLOC_EDGE_DATA, count=data_blocks, link_from=holder
+            )
             # Pooled decompression buffers (middle-lived path through the
             # shared BufferPool — one side of the conflict).
             with thread.call(cm.L_LOAD_CALL_BUFFER, cm.BUFFER_POOL, "allocate"):
-                for _ in range(4):
-                    heap.write_ref(
-                        holder, thread.alloc(cm.L_POOL_ALLOC, keep=False)
-                    )
+                thread.alloc_batch(cm.L_POOL_ALLOC, count=4, link_from=holder)
         self.batch_holder = holder
         self._batch_loaded = True
         self._cursor = 0

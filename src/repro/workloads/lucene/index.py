@@ -85,19 +85,25 @@ class InMemoryIndex:
         thread.alloc(cm.L_ADD_ALLOC_TOKENS)
         thread.alloc(cm.L_ADD_ALLOC_FIELDS)
         with thread.call(cm.L_ADD_CALL_UPDATE, cm.DOCS_WRITER, "updateDocument"):
-            for _ in range(params.postings_per_doc):
-                posting = thread.alloc(cm.L_UPDATE_ALLOC_POSTING, keep=False)
-                heap.write_ref(self.ram_holder, posting)
-                self.ram_bytes += posting.size
-            for _ in range(params.slots_per_doc):
-                slot = thread.alloc(cm.L_UPDATE_ALLOC_TERMSLOT, keep=False)
-                heap.write_ref(self.ram_holder, slot)
-                self.ram_bytes += slot.size
+            thread.alloc_batch(
+                cm.L_UPDATE_ALLOC_POSTING,
+                count=params.postings_per_doc,
+                link_from=self.ram_holder,
+            )
+            self.ram_bytes += params.postings_per_doc * cm.SIZE_POSTING
+            thread.alloc_batch(
+                cm.L_UPDATE_ALLOC_TERMSLOT,
+                count=params.slots_per_doc,
+                link_from=self.ram_holder,
+            )
+            self.ram_bytes += params.slots_per_doc * cm.SIZE_TERMSLOT
             with thread.call(cm.L_UPDATE_CALL_BYTES, cm.BYTE_POOL, "allocate"):
-                for _ in range(params.blocks_per_doc):
-                    block = thread.alloc(cm.L_BYTE_POOL_ALLOC, keep=False)
-                    heap.write_ref(self.ram_holder, block)
-                    self.ram_bytes += block.size
+                thread.alloc_batch(
+                    cm.L_BYTE_POOL_ALLOC,
+                    count=params.blocks_per_doc,
+                    link_from=self.ram_holder,
+                )
+                self.ram_bytes += params.blocks_per_doc * cm.SIZE_BYTE_BLOCK
             self.docs_in_ram += 1
             self.docs_indexed += 1
             if self.ram_bytes >= params.ram_buffer_bytes:
@@ -123,10 +129,11 @@ class InMemoryIndex:
             input_bytes * (params.merge_yield if merged else params.segment_yield)
         )
         postings_chunks = max(1, target // cm.SIZE_SEGMENT_POSTINGS)
-        for _ in range(postings_chunks):
-            heap.write_ref(
-                segment, thread.alloc(cm.L_FLUSH_ALLOC_POSTINGS, keep=False)
-            )
+        thread.alloc_batch(
+            cm.L_FLUSH_ALLOC_POSTINGS, count=postings_chunks, link_from=segment
+        )
+        # Term dictionary and norms alternate sites per iteration, so they
+        # stay scalar (a batch goes through exactly one site).
         for _ in range(max(1, postings_chunks // 8)):
             heap.write_ref(
                 segment, thread.alloc(cm.L_FLUSH_ALLOC_TERMDICT, keep=False)
@@ -138,15 +145,9 @@ class InMemoryIndex:
         # long-lived side of conflict #2) and pooled byte blocks (the
         # long-lived side of conflict #1).
         with thread.call(cm.L_FLUSH_CALL_COPY, cm.BYTESREF_POOL, "copy"):
-            for _ in range(12):
-                heap.write_ref(
-                    segment, thread.alloc(cm.L_BYTESREF_COPY, keep=False)
-                )
+            thread.alloc_batch(cm.L_BYTESREF_COPY, count=12, link_from=segment)
         with thread.call(cm.L_FLUSH_CALL_BYTES, cm.BYTE_POOL, "allocate"):
-            for _ in range(4):
-                heap.write_ref(
-                    segment, thread.alloc(cm.L_BYTE_POOL_ALLOC, keep=False)
-                )
+            thread.alloc_batch(cm.L_BYTE_POOL_ALLOC, count=4, link_from=segment)
         heap.write_ref(self.segments_holder, segment)
         actual = (
             postings_chunks * cm.SIZE_SEGMENT_POSTINGS

@@ -155,9 +155,11 @@ class TestAttachDetachSymmetry:
         vm = VM(small_config, collector=G1Collector())
         hits = []
         listener = lambda obj, site, trace: hits.append(obj)  # noqa: E731
-        vm.add_alloc_listener(listener)
+        with pytest.deprecated_call():
+            vm.add_alloc_listener(listener)
         assert vm.events.has_listeners(ALLOCATION)
-        vm.remove_alloc_listener(listener)
+        with pytest.deprecated_call():
+            vm.remove_alloc_listener(listener)
         assert not vm.events.has_listeners(ALLOCATION)
 
 

@@ -7,6 +7,7 @@ from repro.errors import OutOfMemoryError
 from repro.gc.c4 import C4Collector
 from repro.gc.g1 import G1Collector
 from repro.runtime.code import ClassModel
+from repro.runtime.events import ALLOCATION
 from repro.runtime.vm import VM
 
 
@@ -53,7 +54,9 @@ class TestAllocListeners:
         site = vm.classloader.lookup("C").method("m").alloc_site(10)
         site.record_hook = True
         events = []
-        vm.add_alloc_listener(lambda obj, s, trace: events.append((obj, s, trace)))
+        vm.events.subscribe(
+            ALLOCATION, lambda obj, s, trace: events.append((obj, s, trace))
+        )
         thread = vm.new_thread("t")
         with thread.entry("C", "m"):
             obj = thread.alloc(10)
@@ -64,7 +67,7 @@ class TestAllocListeners:
     def test_listener_silent_without_hook(self):
         vm = build_vm()
         events = []
-        vm.add_alloc_listener(lambda *args: events.append(args))
+        vm.events.subscribe(ALLOCATION, lambda *args: events.append(args))
         thread = vm.new_thread("t")
         with thread.entry("C", "m"):
             thread.alloc(10)
@@ -76,8 +79,8 @@ class TestAllocListeners:
         site.record_hook = True
         events = []
         listener = lambda *args: events.append(args)  # noqa: E731
-        vm.add_alloc_listener(listener)
-        vm.remove_alloc_listener(listener)
+        vm.events.subscribe(ALLOCATION, listener)
+        vm.events.unsubscribe(ALLOCATION, listener)
         thread = vm.new_thread("t")
         with thread.entry("C", "m"):
             thread.alloc(10)
